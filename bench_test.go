@@ -1,0 +1,312 @@
+// Benchmarks regenerating the paper's figures and worked examples; the
+// mapping to the paper is the per-experiment index in DESIGN.md, and
+// measured results are recorded in EXPERIMENTS.md.
+package seqlog
+
+import (
+	"fmt"
+	"testing"
+
+	"seqlog/internal/algebra"
+	"seqlog/internal/core"
+	"seqlog/internal/eval"
+	"seqlog/internal/parser"
+	"seqlog/internal/queries"
+	"seqlog/internal/rewrite"
+	"seqlog/internal/unify"
+	"seqlog/internal/workload"
+)
+
+// E1 — Figure 1: the lattice of fragment equivalence classes.
+func BenchmarkFigure1Lattice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := core.BuildLattice()
+		if len(l.Classes) != 11 {
+			b.Fatal("wrong class count")
+		}
+	}
+}
+
+// E2 — Figure 2: associative unification of $x.<@y.$z>.@w = $u.$v.$u.
+func BenchmarkFigure2Unify(b *testing.B) {
+	rules, err := parser.ParseRules(`X($x.<@y.$z>.@w, $u.$v.$u).`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	head := rules[0].Head
+	eq := unify.Equation{L: head.Args[0], R: head.Args[1]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := unify.Solve(eq, unify.Options{})
+		if len(res.Solutions) != 4 {
+			b.Fatalf("got %d solutions", len(res.Solutions))
+		}
+	}
+}
+
+// E3 — Figure 3: the rewrite planner across fragment targets.
+func BenchmarkFigure3Planner(b *testing.B) {
+	prog := MustParse(`S($x) :- R($x), a.$x = $x.a.`)
+	targets := []Fragment{Frag("AIR"), Frag("I"), Frag("EINR"), Frag("E")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tgt := range targets {
+			if _, err := core.RewriteTo(prog, "S", tgt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// E4 — Example 3.1: only-a's, equation versus recursion formulation.
+func benchQueryOnInstance(b *testing.B, name string, edb *Instance) {
+	q, err := queries.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Query(q.Program, edb, q.Output, eval.Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOnlyAsEquation(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			benchQueryOnInstance(b, "only-as-equation", workload.OnlyAs(1, "R", 16, n))
+		})
+	}
+}
+
+func BenchmarkOnlyAsRecursion(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			benchQueryOnInstance(b, "only-as-recursion", workload.OnlyAs(1, "R", 16, n))
+		})
+	}
+}
+
+// E5 — Example 4.3: reversal with and without arity.
+func BenchmarkReverseArity(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			benchQueryOnInstance(b, "reverse-arity", workload.Strings(2, "R", 8, n, workload.Alphabet(3)))
+		})
+	}
+}
+
+func BenchmarkReverseNoArity(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			benchQueryOnInstance(b, "reverse-noarity", workload.Strings(2, "R", 8, n, workload.Alphabet(3)))
+		})
+	}
+}
+
+// E6 — Lemma 4.5 / Example 4.6: equation elimination, transformation
+// cost and evaluation overhead.
+func BenchmarkEquationEliminationTransform(b *testing.B) {
+	q, _ := queries.Get("mirror-nonequal")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rewrite.EliminateEquations(q.Program); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMirrorOriginal(b *testing.B) {
+	benchQueryOnInstance(b, "mirror-nonequal", workload.Strings(3, "R", 10, 6, workload.Alphabet(3)))
+}
+
+func BenchmarkMirrorEquationFree(b *testing.B) {
+	q, _ := queries.Get("mirror-nonequal")
+	prog, err := rewrite.EliminateEquations(q.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edb := workload.Strings(3, "R", 10, 6, workload.Alphabet(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Query(prog, edb, "S", eval.Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E7 — Example 2.1: NFA acceptance scaling in string length.
+func BenchmarkNFAAcceptance(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			benchQueryOnInstance(b, "nfa-accept", workload.NFA(4, 16, n))
+		})
+	}
+}
+
+// E8 — Example 2.2 / 4.14: the packed program, its 28-rule
+// packing-free rewriting, and the transformation itself.
+func BenchmarkPackingEliminationTransform(b *testing.B) {
+	q, _ := queries.Get("three-occurrences")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := rewrite.EliminatePackingNonrecursive(q.Program, "A")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(p.Rules()) != 28 {
+			b.Fatalf("expected 28 rules (Example 4.14), got %d", len(p.Rules()))
+		}
+	}
+}
+
+func BenchmarkThreeOccurrencesPacked(b *testing.B) {
+	benchQueryOnInstance(b, "three-occurrences", workload.SubstringHaystack(5, 12, 3, 2))
+}
+
+func BenchmarkThreeOccurrencesDepacked(b *testing.B) {
+	q, _ := queries.Get("three-occurrences")
+	prog, err := rewrite.EliminatePackingNonrecursive(q.Program, "A")
+	if err != nil {
+		b.Fatal(err)
+	}
+	edb := workload.SubstringHaystack(5, 12, 3, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Eval(prog, edb, eval.Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9 — Theorem 5.3: the squaring query; output grows as n².
+func BenchmarkSquaring(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchQueryOnInstance(b, "squaring", workload.Repeated("R", "a", n))
+		})
+	}
+}
+
+// E10 — Theorem 7.1: Datalog evaluation versus the compiled algebra
+// plan on the same query.
+func BenchmarkAlgebraVsDatalog(b *testing.B) {
+	prog := MustParse(`
+T($x, $y) :- R($x.m.$y).
+S($y) :- T($x, $y), Q($x).`)
+	edb := workload.Strings(6, "R", 8, 5, []string{"a", "b", "m"})
+	edb.Merge(workload.Strings(7, "Q", 8, 3, []string{"a", "b", "m"}))
+	expr, err := algebra.Compile(prog, "S")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("datalog", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.Query(prog, edb, "S", eval.Limits{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("algebra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := algebra.Eval(expr, edb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E11 — Theorem 4.15: the doubling simulation, transformation cost and
+// simulated-versus-direct evaluation.
+func BenchmarkDoublingSimulationTransform(b *testing.B) {
+	q, _ := queries.Get("even-length-packed")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rewrite.SimulatePackingDoubled(q.Program, "S", rewrite.DefaultDoubleMarkers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDoublingSimulated(b *testing.B) {
+	q, _ := queries.Get("even-length-packed")
+	prog, err := rewrite.SimulatePackingDoubled(q.Program, "S", rewrite.DefaultDoubleMarkers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edb := workload.Strings(8, "R", 4, 4, workload.Alphabet(2))
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.Query(q.Program, edb, "S", eval.Limits{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("doubled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.Query(prog, edb, "S", eval.Limits{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E12 — Lemma 5.4: sequence program versus its classical translation
+// on two-bounded graph instances.
+func BenchmarkTwoBoundedSimulation(b *testing.B) {
+	q, _ := queries.Get("reachability")
+	classical, err := rewrite.ToClassical(q.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edb := workload.Graph(9, 24, 60)
+	enc, err := rewrite.EncodeTwoBounded(edb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequence", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.Eval(q.Program, edb, eval.Limits{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("classical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.Eval(classical, enc, eval.Limits{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Evaluator scaling: transitive closure over chains (semi-naive
+// fixpoint depth).
+func BenchmarkTransitiveClosure(b *testing.B) {
+	q, _ := queries.Get("reachability")
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			edb := workload.Chain(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Eval(q.Program, edb, eval.Limits{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Application workloads from §1.
+func BenchmarkProcessMining(b *testing.B) {
+	benchQueryOnInstance(b, "process-mining", workload.EventLogs(10, "L", 20, 8))
+}
+
+func BenchmarkDeepEqual(b *testing.B) {
+	benchQueryOnInstance(b, "deep-unequal", workload.TwoJSONSets(11, 200, 4, true))
+}
+
+func BenchmarkSalesRegroup(b *testing.B) {
+	benchQueryOnInstance(b, "sales-by-year", workload.Sales(12, 40, 5))
+}

@@ -1,0 +1,132 @@
+// Command seqlog evaluates Sequence Datalog programs.
+//
+// Usage:
+//
+//	seqlog -program prog.sdl -data facts.sdl [-output S] [-max-facts N]
+//	seqlog -query nfa-accept -data facts.sdl
+//	seqlog -list
+//
+// Programs use the syntax of the paper in ASCII (see the README):
+//
+//	S($x) :- R($x), a.$x = $x.a.
+//
+// With -output the named relation is printed; otherwise all IDB
+// relations are printed as facts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/eval"
+	"seqlog/internal/instance"
+	"seqlog/internal/parser"
+	"seqlog/internal/queries"
+)
+
+func main() {
+	var (
+		programFile = flag.String("program", "", "file holding the program")
+		queryName   = flag.String("query", "", "run a built-in paper query instead of -program")
+		dataFile    = flag.String("data", "", "file holding the EDB facts")
+		output      = flag.String("output", "", "relation to print (default: all IDB relations)")
+		maxFacts    = flag.Int("max-facts", eval.DefaultLimits.MaxFacts, "termination guard: maximum derived facts")
+		list        = flag.Bool("list", false, "list the built-in paper queries")
+		showProg    = flag.Bool("show-program", false, "print the (stratified) program before evaluating")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, q := range queries.All() {
+			fmt.Printf("%-22s %-28s %s  %s\n", q.Name, q.Source, q.Fragment(), q.Doc)
+		}
+		return
+	}
+
+	prog, out, err := loadProgram(*programFile, *queryName, *output)
+	if err != nil {
+		fail(err)
+	}
+	if *showProg {
+		fmt.Print(prog.String())
+		fmt.Println("---")
+	}
+
+	edb := instance.New()
+	if *dataFile != "" {
+		src, err := os.ReadFile(*dataFile)
+		if err != nil {
+			fail(err)
+		}
+		edb, err = parser.ParseInstance(string(src))
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", *dataFile, err))
+		}
+	}
+
+	result, err := eval.Eval(prog, edb, eval.Limits{MaxFacts: *maxFacts})
+	if err != nil {
+		fail(err)
+	}
+	if out != "" {
+		printRelations(result, []string{out})
+		return
+	}
+	printRelations(result, prog.IDBNames())
+}
+
+func loadProgram(file, query, output string) (ast.Program, string, error) {
+	switch {
+	case file != "" && query != "":
+		return ast.Program{}, "", fmt.Errorf("use either -program or -query, not both")
+	case query != "":
+		q, err := queries.Get(query)
+		if err != nil {
+			return ast.Program{}, "", err
+		}
+		if output == "" {
+			output = q.Output
+		}
+		return q.Program, output, nil
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return ast.Program{}, "", err
+		}
+		prog, err := parser.ParseProgram(string(src))
+		if err != nil {
+			return ast.Program{}, "", fmt.Errorf("%s: %w", file, err)
+		}
+		return prog, output, nil
+	default:
+		return ast.Program{}, "", fmt.Errorf("one of -program, -query or -list is required")
+	}
+}
+
+func printRelations(inst *instance.Instance, names []string) {
+	for _, n := range names {
+		rel := inst.Relation(n)
+		if rel == nil {
+			continue
+		}
+		for _, t := range rel.Sorted() {
+			if len(t) == 0 {
+				fmt.Printf("%s.\n", n)
+				continue
+			}
+			parts := make([]string, len(t))
+			for i, p := range t {
+				parts[i] = p.String()
+			}
+			fmt.Printf("%s(%s).\n", n, strings.Join(parts, ", "))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "seqlog:", err)
+	os.Exit(1)
+}

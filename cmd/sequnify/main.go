@@ -1,0 +1,81 @@
+// Command sequnify solves path-expression equations by associative
+// unification (paper §4.3, Figure 2).
+//
+// Usage:
+//
+//	sequnify '$x.<@y.$z>.@w = $u.$v.$u'      # the Figure 2 equation
+//	sequnify -empty '$x.$y = a.b'            # allow empty-path solutions
+//	sequnify -dot '$x.a = a.$x'              # print the search DAG
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/parser"
+	"seqlog/internal/unify"
+)
+
+func main() {
+	var (
+		empty = flag.Bool("empty", false, "apply the footnote-4 empty-word closure")
+		dot   = flag.Bool("dot", false, "print the search DAG as Graphviz")
+		max   = flag.Int("max-states", unify.DefaultMaxStates, "state budget")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sequnify [-empty] [-dot] 'e1 = e2'")
+		os.Exit(2)
+	}
+	eq, err := parseEquation(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("equation:            %s\n", eq)
+	fmt.Printf("one-sided nonlinear: %v\n", eq.OneSidedNonlinear())
+	res := unify.Solve(eq, unify.Options{AllowEmpty: *empty, MaxStates: *max, CollectGraph: *dot})
+	fmt.Printf("states explored:     %d\n", res.States)
+	fmt.Printf("complete:            %v\n", res.Complete)
+	fmt.Printf("symbolic solutions:  %d\n", len(res.Solutions))
+	for _, s := range res.Solutions {
+		fmt.Printf("  %s\n", s)
+	}
+	if *dot && res.Graph != nil {
+		fmt.Println("---")
+		fmt.Print(res.Graph.DOT())
+	}
+}
+
+// parseEquation splits on the outermost '=' and parses both sides by
+// wrapping them in a dummy predicate.
+func parseEquation(src string) (unify.Equation, error) {
+	parts := strings.SplitN(src, "=", 2)
+	if len(parts) != 2 {
+		return unify.Equation{}, fmt.Errorf("no '=' in %q", src)
+	}
+	l, err := parseExpr(parts[0])
+	if err != nil {
+		return unify.Equation{}, err
+	}
+	r, err := parseExpr(parts[1])
+	if err != nil {
+		return unify.Equation{}, err
+	}
+	return unify.Equation{L: l, R: r}, nil
+}
+
+func parseExpr(src string) (ast.Expr, error) {
+	rules, err := parser.ParseRules("X(" + strings.TrimSpace(src) + ").")
+	if err != nil {
+		return nil, fmt.Errorf("bad expression %q: %w", src, err)
+	}
+	return rules[0].Head.Args[0], nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sequnify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// JSON as sequences (paper §1): a JSON object is modeled as the set of
+// its root-to-value key paths. Regrouping Sales (item -> year -> value)
+// by year is just swapping the first two elements of every length-3
+// path, and deep-equality of two objects is equality of path sets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seqlog"
+)
+
+func main() {
+	// Restructuring: group sales by year instead of by item.
+	sales := seqlog.MustParseInstance(`
+Sales(laptop.'2023'.'1200').
+Sales(laptop.'2024'.'1500').
+Sales(phone.'2023'.'800').
+Sales(phone.'2024'.'950').
+`)
+	regroup, err := seqlog.GetPaperQuery("sales-by-year")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := seqlog.Query(regroup.Program, sales, regroup.Output, seqlog.Limits{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sales regrouped by year:")
+	for _, t := range rel.Sorted() {
+		fmt.Printf("  %s\n", t[0])
+	}
+
+	// Deep-equality: two JSON objects given as path sets.
+	deepEq, err := seqlog.GetPaperQuery("deep-unequal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	objects := seqlog.MustParseInstance(`
+J1(user.name.alice).
+J1(user.age.'33').
+J2(user.name.alice).
+J2(user.age.'33').
+`)
+	differs, err := seqlog.Holds(deepEq.Program, objects, deepEq.Output, seqlog.Limits{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nobjects differ: %v\n", differs)
+
+	objects.AddPath("J2", seqlog.PathOf("user", "city", "ghent"))
+	differs, err = seqlog.Holds(deepEq.Program, objects, deepEq.Output, seqlog.Limits{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after adding user.city.ghent to J2, objects differ: %v\n", differs)
+}

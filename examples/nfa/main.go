@@ -1,0 +1,42 @@
+// NFA acceptance (paper Example 2.1): an NFA is stored as relations
+// N (initial states), D (transitions), F (final states); the program
+// computes the strings of R the NFA accepts. The example NFA accepts
+// the strings over {a, b} with an even number of b's.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seqlog"
+)
+
+func main() {
+	q, err := seqlog.GetPaperQuery("nfa-accept")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program (%s, fragment %s):\n%s\n", q.Source, q.Fragment(), q.Program)
+
+	edb := seqlog.MustParseInstance(`
+N(q0). F(q0).
+D(q0, a, q0). D(q0, b, q1).
+D(q1, a, q1). D(q1, b, q0).
+
+R(a.a.a).
+R(a.b).
+R(b.b).
+R(b.a.b.a).
+R(b).
+R(eps).
+`)
+
+	rel, err := seqlog.Query(q.Program, edb, q.Output, seqlog.Limits{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accepted (even number of b's):")
+	for _, t := range rel.Sorted() {
+		fmt.Printf("  %s\n", t[0])
+	}
+}

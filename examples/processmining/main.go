@@ -1,0 +1,36 @@
+// Process mining (paper §1): an event log is a set of sequences; the
+// query keeps the logs in which every occurrence of 'complete order'
+// is eventually followed by 'receive payment'.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seqlog"
+)
+
+func main() {
+	q, err := seqlog.GetPaperQuery("process-mining")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program (fragment %s):\n%s\n", q.Fragment(), q.Program)
+
+	edb := seqlog.MustParseInstance(`
+L('create order'.'complete order'.ship.'receive payment'.close).
+L('create order'.'complete order'.ship).
+L('complete order'.'receive payment'.'complete order'.'receive payment').
+L('complete order'.'receive payment'.'complete order').
+L(ship.close).
+`)
+
+	rel, err := seqlog.Query(q.Program, edb, q.Output, seqlog.Limits{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compliant logs (every 'complete order' later paid):")
+	for _, t := range rel.Sorted() {
+		fmt.Printf("  %s\n", t[0])
+	}
+}

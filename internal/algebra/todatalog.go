@@ -1,0 +1,229 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+
+	"seqlog/internal/ast"
+)
+
+// ToDatalog translates an algebra expression into a nonrecursive
+// Sequence Datalog program whose given output relation computes the
+// expression (the easy direction of Theorem 7.1). The program uses
+// equations for selections, packing for UNPACK, and stratified
+// negation for differences.
+func ToDatalog(e Expr, output string) (ast.Program, error) {
+	t := &translator{counter: 0}
+	name, err := t.walk(e)
+	if err != nil {
+		return ast.Program{}, err
+	}
+	// Final copy rule: output(v...) :- name(v...).
+	args := colVars(e.Arity())
+	t.rules = append(t.rules, ast.Rule{
+		Head: ast.Pred{Name: output, Args: args},
+		Body: []ast.Literal{ast.Pos(ast.Pred{Name: name, Args: args})},
+	})
+	prog, err := ast.AutoStratify(t.rules)
+	if err != nil {
+		return ast.Program{}, fmt.Errorf("algebra: ToDatalog produced an unstratifiable program: %w", err)
+	}
+	return prog, nil
+}
+
+type translator struct {
+	counter int
+	rules   []ast.Rule
+}
+
+func (t *translator) fresh() string {
+	t.counter++
+	return "Alg" + strconv.Itoa(t.counter)
+}
+
+func colVars(n int) []ast.Expr {
+	out := make([]ast.Expr, n)
+	for i := range out {
+		out[i] = ast.P("c" + strconv.Itoa(i+1))
+	}
+	return out
+}
+
+// positionalToVars rewrites a positional expression over $1..$n into
+// one over the body variables $c1..$cn.
+func positionalToVars(e ast.Expr, n int) (ast.Expr, error) {
+	sub := ast.Subst{}
+	for i := 1; i <= n; i++ {
+		sub[ast.PVar(strconv.Itoa(i))] = ast.P("c" + strconv.Itoa(i))
+	}
+	out := sub.Apply(e)
+	for _, v := range out.Vars() {
+		if v.Atomic {
+			return nil, fmt.Errorf("algebra: atomic variable %s in positional expression", v)
+		}
+		if _, err := strconv.Atoi(v.Name); err == nil {
+			return nil, fmt.Errorf("algebra: positional variable $%s out of range 1..%d", v.Name, n)
+		}
+	}
+	return out, nil
+}
+
+// walk emits rules defining a relation equivalent to e and returns its
+// name.
+func (t *translator) walk(e Expr) (string, error) {
+	switch x := e.(type) {
+	case Rel:
+		return x.Name, nil
+	case Const:
+		name := t.fresh()
+		if len(x.Tuples) == 0 {
+			// An empty relation needs no rules, but the name must have
+			// a consistent arity wherever it is used; emit a vacuous
+			// rule R(...) :- R(...)? Recursion is forbidden; instead
+			// emit nothing and let callers treat the missing relation
+			// as empty.
+			return name, nil
+		}
+		for _, tu := range x.Tuples {
+			args := make([]ast.Expr, len(tu))
+			for i, p := range tu {
+				args[i] = ast.FromPath(p)
+			}
+			t.rules = append(t.rules, ast.Rule{Head: ast.Pred{Name: name, Args: args}})
+		}
+		return name, nil
+	case Select:
+		in, err := t.walk(x.E)
+		if err != nil {
+			return "", err
+		}
+		n := x.E.Arity()
+		l, err := positionalToVars(x.L, n)
+		if err != nil {
+			return "", err
+		}
+		r, err := positionalToVars(x.R, n)
+		if err != nil {
+			return "", err
+		}
+		name := t.fresh()
+		args := colVars(n)
+		t.rules = append(t.rules, ast.Rule{
+			Head: ast.Pred{Name: name, Args: args},
+			Body: []ast.Literal{
+				ast.Pos(ast.Pred{Name: in, Args: args}),
+				ast.Pos(ast.Eq{L: l, R: r}),
+			},
+		})
+		return name, nil
+	case Project:
+		in, err := t.walk(x.E)
+		if err != nil {
+			return "", err
+		}
+		n := x.E.Arity()
+		name := t.fresh()
+		head := make([]ast.Expr, len(x.Cols))
+		for i, c := range x.Cols {
+			hc, err := positionalToVars(c, n)
+			if err != nil {
+				return "", err
+			}
+			head[i] = hc
+		}
+		t.rules = append(t.rules, ast.Rule{
+			Head: ast.Pred{Name: name, Args: head},
+			Body: []ast.Literal{ast.Pos(ast.Pred{Name: in, Args: colVars(n)})},
+		})
+		return name, nil
+	case Union:
+		l, err := t.walk(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := t.walk(x.R)
+		if err != nil {
+			return "", err
+		}
+		name := t.fresh()
+		args := colVars(x.Arity())
+		t.rules = append(t.rules,
+			ast.Rule{Head: ast.Pred{Name: name, Args: args}, Body: []ast.Literal{ast.Pos(ast.Pred{Name: l, Args: args})}},
+			ast.Rule{Head: ast.Pred{Name: name, Args: args}, Body: []ast.Literal{ast.Pos(ast.Pred{Name: r, Args: args})}},
+		)
+		return name, nil
+	case Diff:
+		l, err := t.walk(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := t.walk(x.R)
+		if err != nil {
+			return "", err
+		}
+		name := t.fresh()
+		args := colVars(x.Arity())
+		t.rules = append(t.rules, ast.Rule{
+			Head: ast.Pred{Name: name, Args: args},
+			Body: []ast.Literal{
+				ast.Pos(ast.Pred{Name: l, Args: args}),
+				ast.Neg(ast.Pred{Name: r, Args: args}),
+			},
+		})
+		return name, nil
+	case Product:
+		l, err := t.walk(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := t.walk(x.R)
+		if err != nil {
+			return "", err
+		}
+		name := t.fresh()
+		n, m := x.L.Arity(), x.R.Arity()
+		all := colVars(n + m)
+		t.rules = append(t.rules, ast.Rule{
+			Head: ast.Pred{Name: name, Args: all},
+			Body: []ast.Literal{
+				ast.Pos(ast.Pred{Name: l, Args: all[:n]}),
+				ast.Pos(ast.Pred{Name: r, Args: all[n:]}),
+			},
+		})
+		return name, nil
+	case Unpack:
+		in, err := t.walk(x.E)
+		if err != nil {
+			return "", err
+		}
+		name := t.fresh()
+		n := x.E.Arity()
+		head := colVars(n)
+		body := colVars(n)
+		body[x.I-1] = ast.Packed(head[x.I-1])
+		t.rules = append(t.rules, ast.Rule{
+			Head: ast.Pred{Name: name, Args: head},
+			Body: []ast.Literal{ast.Pos(ast.Pred{Name: in, Args: body})},
+		})
+		return name, nil
+	case Sub:
+		in, err := t.walk(x.E)
+		if err != nil {
+			return "", err
+		}
+		name := t.fresh()
+		n := x.E.Arity()
+		body := colVars(n)
+		seg := ast.Cat(ast.P("sl"), ast.P("sm"), ast.P("sr"))
+		body[x.I-1] = seg
+		head := colVars(n)
+		head[x.I-1] = seg
+		head = append(head, ast.P("sm"))
+		t.rules = append(t.rules, ast.Rule{
+			Head: ast.Pred{Name: name, Args: head},
+			Body: []ast.Literal{ast.Pos(ast.Pred{Name: in, Args: body})},
+		})
+		return name, nil
+	}
+	return "", fmt.Errorf("algebra: unknown expression %T", e)
+}

@@ -1,0 +1,263 @@
+package ast
+
+import "strings"
+
+// Feature is one of the six language features of Section 3.
+type Feature uint8
+
+// The features, in the paper's lettering.
+const (
+	FeatArity         Feature = 1 << iota // A: some predicate of arity > 1
+	FeatEquations                         // E: some equation
+	FeatIntermediates                     // I: at least two IDB relation names
+	FeatNegation                          // N: some negated atom
+	FeatPacking                           // P: some <e> in a rule
+	FeatRecursion                         // R: a cycle in the dependency graph
+)
+
+// FeatureSet is a fragment: a subset of the six features.
+type FeatureSet uint8
+
+// AllFeatures is the full fragment Φ = {A, E, I, N, P, R}.
+const AllFeatures FeatureSet = FeatureSet(FeatArity | FeatEquations | FeatIntermediates | FeatNegation | FeatPacking | FeatRecursion)
+
+// Has reports whether the fragment contains the feature.
+func (f FeatureSet) Has(x Feature) bool { return f&FeatureSet(x) != 0 }
+
+// With returns the fragment extended with the feature.
+func (f FeatureSet) With(x Feature) FeatureSet { return f | FeatureSet(x) }
+
+// Without returns the fragment with the feature removed.
+func (f FeatureSet) Without(x Feature) FeatureSet { return f &^ FeatureSet(x) }
+
+// Union returns the union of two fragments.
+func (f FeatureSet) Union(g FeatureSet) FeatureSet { return f | g }
+
+// SubsetOf reports whether f ⊆ g as sets of features.
+func (f FeatureSet) SubsetOf(g FeatureSet) bool { return f&^g == 0 }
+
+// String renders the fragment in the paper's notation, e.g. "{E, I, N}".
+func (f FeatureSet) String() string {
+	var parts []string
+	for _, fl := range []struct {
+		f Feature
+		s string
+	}{
+		{FeatArity, "A"}, {FeatEquations, "E"}, {FeatIntermediates, "I"},
+		{FeatNegation, "N"}, {FeatPacking, "P"}, {FeatRecursion, "R"},
+	} {
+		if f.Has(fl.f) {
+			parts = append(parts, fl.s)
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// ParseFeatureSet parses fragments like "{E,I,N}", "EIN", or "" (empty).
+func ParseFeatureSet(s string) (FeatureSet, bool) {
+	var f FeatureSet
+	for _, r := range s {
+		switch r {
+		case 'A', 'a':
+			f = f.With(FeatArity)
+		case 'E', 'e':
+			f = f.With(FeatEquations)
+		case 'I', 'i':
+			f = f.With(FeatIntermediates)
+		case 'N', 'n':
+			f = f.With(FeatNegation)
+		case 'P', 'p':
+			f = f.With(FeatPacking)
+		case 'R', 'r':
+			f = f.With(FeatRecursion)
+		case '{', '}', ',', ' ':
+		default:
+			return 0, false
+		}
+	}
+	return f, true
+}
+
+// Features detects the fragment a program belongs to, per the
+// definitions in Section 3: A (arity > 1), E (equations), I (≥ 2 IDB
+// names), N (negated atoms), P (packing), R (dependency-graph cycle).
+func (p Program) Features() FeatureSet {
+	var f FeatureSet
+	idb := map[string]bool{}
+	for _, r := range p.Rules() {
+		idb[r.Head.Name] = true
+		if len(r.Head.Args) > 1 {
+			f = f.With(FeatArity)
+		}
+		for _, a := range r.Head.Args {
+			if a.HasPacking() {
+				f = f.With(FeatPacking)
+			}
+		}
+		for _, l := range r.Body {
+			if l.Neg {
+				f = f.With(FeatNegation)
+			}
+			switch x := l.Atom.(type) {
+			case Pred:
+				if len(x.Args) > 1 {
+					f = f.With(FeatArity)
+				}
+				for _, a := range x.Args {
+					if a.HasPacking() {
+						f = f.With(FeatPacking)
+					}
+				}
+			case Eq:
+				f = f.With(FeatEquations)
+				if x.L.HasPacking() || x.R.HasPacking() {
+					f = f.With(FeatPacking)
+				}
+			}
+		}
+	}
+	if len(idb) >= 2 {
+		f = f.With(FeatIntermediates)
+	}
+	if p.HasRecursion() {
+		f = f.With(FeatRecursion)
+	}
+	return f
+}
+
+// DependencyGraph returns the edges of the program's dependency graph:
+// the nodes are IDB relation names and there is an edge from R1 to R2 if
+// R2 occurs in the body of a rule with R1 in its head (paper §3, fn 2).
+func (p Program) DependencyGraph() map[string][]string {
+	idb := map[string]bool{}
+	for _, r := range p.Rules() {
+		idb[r.Head.Name] = true
+	}
+	edges := map[string]map[string]bool{}
+	for _, r := range p.Rules() {
+		if edges[r.Head.Name] == nil {
+			edges[r.Head.Name] = map[string]bool{}
+		}
+		for _, l := range r.Body {
+			if pr, ok := l.Atom.(Pred); ok && idb[pr.Name] {
+				edges[r.Head.Name][pr.Name] = true
+			}
+		}
+	}
+	out := map[string][]string{}
+	for from, tos := range edges {
+		out[from] = sortedKeys(tos)
+	}
+	return out
+}
+
+// HasRecursion reports whether the dependency graph has a cycle
+// (including self-loops); this is the R feature.
+func (p Program) HasRecursion() bool {
+	g := p.DependencyGraph()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		for _, m := range g[n] {
+			switch color[m] {
+			case gray:
+				return true
+			case white:
+				if visit(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for n := range g {
+		if color[n] == white && visit(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// RecursiveRelations returns the IDB relation names on some dependency
+// cycle, sorted. A stratum's rules are "recursive" when their heads are
+// among these.
+func (p Program) RecursiveRelations() []string {
+	g := p.DependencyGraph()
+	// Tarjan SCC, iterative enough for our sizes via recursion.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	out := map[string]bool{}
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				for _, w := range comp {
+					out[w] = true
+				}
+			} else {
+				// Self-loop?
+				v := comp[0]
+				for _, w := range g[v] {
+					if w == v {
+						out[v] = true
+					}
+				}
+			}
+		}
+	}
+	nodes := make([]string, 0, len(g))
+	for n := range g {
+		nodes = append(nodes, n)
+	}
+	// Deterministic visit order.
+	sortStrings(nodes)
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sortedKeys(out)
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Validate checks the well-formedness conditions of Section 2.2:
+// every rule is safe, relation arities are consistent, and negation is
+// stratified — when a negated predicate ¬P occurs in some stratum, no
+// rule in that stratum or a later one has P in its head.
+func (p Program) Validate() error {
+	if _, err := p.Arities(); err != nil {
+		return err
+	}
+	for si, s := range p.Strata {
+		for ri, r := range s {
+			if !r.Safe() {
+				return fmt.Errorf("stratum %d rule %d is unsafe: %s", si+1, ri+1, r)
+			}
+		}
+	}
+	// headFrom[i] = names used as heads in stratum i or later.
+	headFrom := make([]map[string]bool, len(p.Strata)+1)
+	headFrom[len(p.Strata)] = map[string]bool{}
+	for i := len(p.Strata) - 1; i >= 0; i-- {
+		m := map[string]bool{}
+		for n := range headFrom[i+1] {
+			m[n] = true
+		}
+		for _, r := range p.Strata[i] {
+			m[r.Head.Name] = true
+		}
+		headFrom[i] = m
+	}
+	for si, s := range p.Strata {
+		for _, r := range s {
+			for _, l := range r.Body {
+				if !l.Neg {
+					continue
+				}
+				if pr, ok := l.Atom.(Pred); ok && headFrom[si][pr.Name] {
+					return fmt.Errorf("stratum %d: negated predicate %s is defined in this or a later stratum (negation not stratified)", si+1, pr.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AutoStratify arranges a flat list of rules into a minimal sequence of
+// strata with stratified negation, or fails when no stratification
+// exists (a cycle through negation).
+func AutoStratify(rules []Rule) (Program, error) {
+	idb := map[string]bool{}
+	for _, r := range rules {
+		idb[r.Head.Name] = true
+	}
+	// level[P] >= level[Q] for positive deps, >= level[Q]+1 for negative.
+	level := map[string]int{}
+	for n := range idb {
+		level[n] = 0
+	}
+	maxIter := len(idb)*len(idb) + len(idb) + 2
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return Program{}, fmt.Errorf("no stratification exists: recursion through negation")
+		}
+		changed := false
+		for _, r := range rules {
+			h := r.Head.Name
+			for _, l := range r.Body {
+				pr, ok := l.Atom.(Pred)
+				if !ok || !idb[pr.Name] {
+					continue
+				}
+				want := level[pr.Name]
+				if l.Neg {
+					want++
+				}
+				if level[h] < want {
+					level[h] = want
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	maxLevel := 0
+	for _, l := range level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	strata := make([]Stratum, maxLevel+1)
+	for _, r := range rules {
+		l := level[r.Head.Name]
+		strata[l] = append(strata[l], r)
+	}
+	// Drop empty strata (possible when levels are sparse).
+	var filled []Stratum
+	for _, s := range strata {
+		if len(s) > 0 {
+			filled = append(filled, s)
+		}
+	}
+	if len(filled) == 0 {
+		filled = []Stratum{{}}
+	}
+	prog := Program{Strata: filled}
+	if err := prog.Validate(); err != nil {
+		return Program{}, fmt.Errorf("auto-stratification failed: %w", err)
+	}
+	return prog, nil
+}
+
+// SplitStrataSingleIDB refines a nonrecursive program so that every
+// stratum has exactly one IDB head name, preserving semantics; the
+// packing-elimination proof of Lemma 4.13 assumes this normal form.
+func (p Program) SplitStrataSingleIDB() (Program, error) {
+	if p.HasRecursion() {
+		return Program{}, fmt.Errorf("SplitStrataSingleIDB requires a nonrecursive program")
+	}
+	var out []Stratum
+	for _, s := range p.Strata {
+		// Topologically order head names within the stratum by their
+		// positive and negative dependencies restricted to the stratum.
+		heads := map[string]bool{}
+		for _, r := range s {
+			heads[r.Head.Name] = true
+		}
+		deps := map[string]map[string]bool{}
+		for _, r := range s {
+			if deps[r.Head.Name] == nil {
+				deps[r.Head.Name] = map[string]bool{}
+			}
+			for _, l := range r.Body {
+				if pr, ok := l.Atom.(Pred); ok && heads[pr.Name] && pr.Name != r.Head.Name {
+					deps[r.Head.Name][pr.Name] = true
+				}
+			}
+		}
+		order, err := topoOrder(heads, deps)
+		if err != nil {
+			return Program{}, err
+		}
+		for _, h := range order {
+			var sub Stratum
+			for _, r := range s {
+				if r.Head.Name == h {
+					sub = append(sub, r)
+				}
+			}
+			out = append(out, sub)
+		}
+	}
+	if len(out) == 0 {
+		out = []Stratum{{}}
+	}
+	return Program{Strata: out}, nil
+}
+
+func topoOrder(nodes map[string]bool, deps map[string]map[string]bool) ([]string, error) {
+	var order []string
+	state := map[string]int{} // 0 unseen, 1 visiting, 2 done
+	var visit func(n string) error
+	visit = func(n string) error {
+		switch state[n] {
+		case 1:
+			return fmt.Errorf("cyclic dependencies within stratum at %s", n)
+		case 2:
+			return nil
+		}
+		state[n] = 1
+		for _, m := range sortedKeys(deps[n]) {
+			if err := visit(m); err != nil {
+				return err
+			}
+		}
+		state[n] = 2
+		order = append(order, n)
+		return nil
+	}
+	for _, n := range sortedKeys(nodes) {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// NameGen generates fresh relation names and variables that do not
+// collide with a set of used names.
+type NameGen struct {
+	used map[string]bool
+	n    int
+}
+
+// NewNameGen builds a generator treating all relation names and variable
+// names of the program as used.
+func NewNameGen(p Program) *NameGen {
+	g := &NameGen{used: map[string]bool{}}
+	for _, n := range p.RelationNames() {
+		g.used[n] = true
+	}
+	for _, r := range p.Rules() {
+		for _, v := range r.Vars() {
+			g.used[v.Name] = true
+		}
+	}
+	return g
+}
+
+// Fresh returns a new name with the given prefix, never returned before
+// and not used in the program.
+func (g *NameGen) Fresh(prefix string) string {
+	for {
+		g.n++
+		name := prefix + strconv.Itoa(g.n)
+		if !g.used[name] {
+			g.used[name] = true
+			return name
+		}
+	}
+}
+
+// FreshVar returns a fresh path or atomic variable.
+func (g *NameGen) FreshVar(prefix string, atomic bool) Var {
+	return Var{Name: g.Fresh(prefix), Atomic: atomic}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/rewrite"
+)
+
+// PlanResult is the outcome of RewriteTo.
+type PlanResult struct {
+	// Program is the rewritten program.
+	Program ast.Program
+	// Achieved is the fragment the rewritten program actually uses.
+	Achieved Fragment
+	// Steps names the transformation passes applied, in order.
+	Steps []string
+	// Exact reports whether Achieved ⊆ target. When false, the
+	// subsumption holds by Theorem 6.1 but the constructive pipeline
+	// could not reach the exact target (see Note); this arises for
+	// recursive packing programs targeting I-free fragments, where the
+	// paper's Theorem 4.15 proof sketch likewise routes through
+	// intermediate predicates.
+	Exact bool
+	// Note explains an inexact result.
+	Note string
+}
+
+// RewriteTo moves a program into the target fragment, following the
+// Figure 3 composition of the paper's redundancy results: packing
+// first (Theorem 4.15), then equations (Theorem 4.7), then
+// intermediate predicates (Theorem 4.16), then arity (Theorem 4.2),
+// finally pruning auxiliary relations that are not needed for the
+// output. It fails when Theorem 6.1 says the target cannot express the
+// source fragment's queries.
+func RewriteTo(p ast.Program, output string, target Fragment) (PlanResult, error) {
+	src := p.Features()
+	if !Subsumes(src, target) {
+		return PlanResult{}, fmt.Errorf("core: %s is not subsumed by %s (%s)", src, target, whyNotSubsumed(src, target))
+	}
+	res := PlanResult{Program: p.Clone(), Exact: true}
+	step := func(name string, f func(ast.Program) (ast.Program, error)) error {
+		q, err := f(res.Program)
+		if err != nil {
+			return err
+		}
+		res.Program = q
+		res.Steps = append(res.Steps, name)
+		return nil
+	}
+
+	if res.Program.Features().Has(P) && !target.Has(P) {
+		if err := step("eliminate-packing (Thm 4.15)", func(q ast.Program) (ast.Program, error) {
+			return rewrite.EliminatePacking(q, output)
+		}); err != nil {
+			return PlanResult{}, err
+		}
+	}
+	if res.Program.Features().Has(E) && !target.Has(E) {
+		if err := step("eliminate-equations (Thm 4.7)", func(q ast.Program) (ast.Program, error) {
+			return rewrite.EliminateEquations(q)
+		}); err != nil {
+			return PlanResult{}, err
+		}
+	}
+	if res.Program.Features().Has(I) && !target.Has(I) {
+		q, err := rewrite.EliminateIntermediates(res.Program, output)
+		if err != nil {
+			// Constructive gap: the decision procedure says F1 ≤ F2,
+			// but folding needs E present and N, R absent.
+			res.Exact = false
+			res.Note = fmt.Sprintf("intermediate predicates could not be folded away constructively: %v", err)
+		} else {
+			res.Program = q
+			res.Steps = append(res.Steps, "eliminate-intermediates (Thm 4.16)")
+		}
+	}
+	if res.Program.Features().Has(A) && !target.Has(A) {
+		if err := step("eliminate-arity (Thm 4.2)", func(q ast.Program) (ast.Program, error) {
+			return rewrite.EliminateArity(q, rewrite.DefaultArityMarkers)
+		}); err != nil {
+			return PlanResult{}, err
+		}
+	}
+	res.Program = rewrite.PruneUnreachable(res.Program, output)
+	res.Steps = append(res.Steps, "prune-unreachable")
+	res.Achieved = res.Program.Features()
+	if !res.Achieved.SubsetOf(target) {
+		res.Exact = false
+		if res.Note == "" {
+			res.Note = fmt.Sprintf("achieved fragment %s exceeds target %s", res.Achieved, target)
+		}
+	}
+	return res, nil
+}
+
+// whyNotSubsumed names the first violated Theorem 6.1 condition.
+func whyNotSubsumed(f1, f2 Fragment) string {
+	switch {
+	case f1.Has(N) && !f2.Has(N):
+		return "condition 1: negation is primitive"
+	case f1.Has(R) && !f2.Has(R):
+		return "condition 2: recursion is primitive (Theorem 5.3)"
+	case f1.Has(E) && !(f2.Has(E) || f2.Has(I)):
+		return "condition 3: E is primitive in the absence of I (Theorem 5.7)"
+	case f1.Has(I) && !f1.Has(R) && !f1.Has(N) && !(f2.Has(I) || f2.Has(E)):
+		return "condition 4: I without N,R still needs I or E"
+	case f1.Has(I) && (f1.Has(R) || f1.Has(N)) && !f2.Has(I):
+		return "condition 5: I is primitive in the presence of N or R (Theorems 5.5, 5.6)"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/eval"
+	"seqlog/internal/instance"
+	"seqlog/internal/parser"
+	"seqlog/internal/value"
+)
+
+func mustParse(t *testing.T, src string) ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return p
+}
+
+func randomInstances(seed int64, count int, rels []string, alphabet []string, maxPaths, maxLen int) []*instance.Instance {
+	r := rand.New(rand.NewSource(seed))
+	var out []*instance.Instance
+	for i := 0; i < count; i++ {
+		inst := instance.New()
+		for _, rel := range rels {
+			n := r.Intn(maxPaths + 1)
+			for j := 0; j < n; j++ {
+				l := r.Intn(maxLen + 1)
+				p := make(value.Path, l)
+				for k := range p {
+					p[k] = value.Atom(alphabet[r.Intn(len(alphabet))])
+				}
+				inst.AddPath(rel, p)
+			}
+			inst.Ensure(rel, 1)
+		}
+		out = append(out, inst)
+	}
+	return out
+}
+
+func checkEquivalent(t *testing.T, p1, p2 ast.Program, output string, instances []*instance.Instance) {
+	t.Helper()
+	for i, edb := range instances {
+		r1, err1 := eval.Query(p1, edb, output, eval.Limits{})
+		r2, err2 := eval.Query(p2, edb, output, eval.Limits{})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("instance %d: %v / %v", i, err1, err2)
+		}
+		if !r1.Equal(r2) {
+			t.Fatalf("instance %d: outputs differ\noriginal: %v\nplanned: %v\nprogram:\n%s",
+				i, r1.Sorted(), r2.Sorted(), p2)
+		}
+	}
+}
+
+func TestRewriteToEquationIntoRecursionFragment(t *testing.T) {
+	// Example 3.1: the {E} only-a's program into the {A,I,R} fragment.
+	prog := mustParse(t, `S($x) :- R($x), a.$x = $x.a.`)
+	res, err := RewriteTo(prog, "S", Frag("AIR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("not exact: %s (%s)", res.Achieved, res.Note)
+	}
+	if res.Achieved.Has(E) {
+		t.Fatalf("achieved %s still has E", res.Achieved)
+	}
+	checkEquivalent(t, prog, res.Program, "S",
+		randomInstances(1, 15, []string{"R"}, []string{"a", "b"}, 5, 6))
+}
+
+func TestRewriteToIOnly(t *testing.T) {
+	// {E} -> {I}: equations fold into auxiliary predicates, then arity
+	// is eliminated.
+	prog := mustParse(t, `S($x) :- R($x), a.$x = $x.a.`)
+	res, err := RewriteTo(prog, "S", Frag("I"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("not exact: %s (%s)", res.Achieved, res.Note)
+	}
+	if res.Achieved != Frag("I") && res.Achieved != Frag("") {
+		t.Fatalf("achieved %s", res.Achieved)
+	}
+	checkEquivalent(t, prog, res.Program, "S",
+		randomInstances(2, 15, []string{"R"}, []string{"a", "b"}, 5, 6))
+}
+
+func TestRewriteToEOnlyFoldsIntermediates(t *testing.T) {
+	// {I} (via an auxiliary predicate) -> {E}: Theorem 4.16 folding.
+	prog := mustParse(t, `
+T(a.$x, $x) :- R($x).
+S($x) :- T($x.a, $x).`)
+	res, err := RewriteTo(prog, "S", Frag("E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("not exact: %s (%s)", res.Achieved, res.Note)
+	}
+	if res.Achieved.Has(I) || res.Achieved.Has(A) {
+		t.Fatalf("achieved %s", res.Achieved)
+	}
+	checkEquivalent(t, prog, res.Program, "S",
+		randomInstances(3, 15, []string{"R"}, []string{"a", "b"}, 5, 6))
+}
+
+func TestRewriteToDropArity(t *testing.T) {
+	prog := mustParse(t, `
+T($x, eps) :- R($x).
+T($x, $y.@u) :- T($x.@u, $y).
+S($x) :- T(eps, $x).`)
+	res, err := RewriteTo(prog, "S", Frag("IR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Achieved.Has(A) {
+		t.Fatalf("achieved %s exact=%v", res.Achieved, res.Exact)
+	}
+	checkEquivalent(t, prog, res.Program, "S",
+		randomInstances(4, 12, []string{"R"}, []string{"a", "b", "0", "1"}, 4, 5))
+}
+
+func TestRewriteToPackingElimination(t *testing.T) {
+	prog := mustParse(t, `
+T($u.<$s>.$v) :- R($u.$s.$v), S($s).
+A :- T($x), T($y), T($z), $x != $y, $x != $z, $y != $z.`)
+	res, err := RewriteTo(prog, "A", Frag("AEIN"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("not exact: %s (%s)", res.Achieved, res.Note)
+	}
+	if res.Achieved.Has(P) {
+		t.Fatalf("achieved %s still has P", res.Achieved)
+	}
+	instances := randomInstances(5, 10, []string{"R", "S"}, []string{"a", "b"}, 4, 4)
+	for i, edb := range instances {
+		b1, err1 := eval.Holds(prog, edb, "A", eval.Limits{})
+		b2, err2 := eval.Holds(res.Program, edb, "A", eval.Limits{})
+		if err1 != nil || err2 != nil || b1 != b2 {
+			t.Fatalf("instance %d: %v/%v %v/%v", i, b1, b2, err1, err2)
+		}
+	}
+}
+
+func TestRewriteToRefusals(t *testing.T) {
+	cases := []struct {
+		src    string
+		output string
+		target string
+	}{
+		// E primitive without I (Theorem 5.7).
+		{`S($x) :- R($x), a.$x = $x.a.`, "S", ""},
+		{`S($x) :- R($x), a.$x = $x.a.`, "S", "NR"},
+		// N primitive.
+		{`S($x) :- R($x), !Q($x).`, "S", "EIR"},
+		// R primitive (Theorem 5.3).
+		{`T($x) :- R($x).
+T($x.a) :- T($x).
+S($x) :- T($x).`, "S", "EIN"},
+		// I primitive with N (Theorem 5.5).
+		{`W(@x) :- R(@x.@y), !B(@y).
+---
+S(@x) :- R(@x.@y), !W(@x).`, "S", "EN"},
+	}
+	for i, c := range cases {
+		prog := mustParse(t, c.src)
+		if _, err := RewriteTo(prog, c.output, Frag(c.target)); err == nil {
+			t.Errorf("case %d: rewrite into {%s} must be refused", i, c.target)
+		} else if !strings.Contains(err.Error(), "condition") {
+			t.Errorf("case %d: error lacks explanation: %v", i, err)
+		}
+	}
+}
+
+func TestRewriteToGapDocumented(t *testing.T) {
+	// {P,R} -> {R}: Theorem 6.1 says yes ({P,R} ≡ {R}), but the
+	// constructive doubling pipeline routes through I; the planner must
+	// report inexactness rather than fail, and stay equivalent. The
+	// program's single IDB relation is recursive with a packed body
+	// pattern (which never matches on flat instances).
+	prog := mustParse(t, `
+S($x) :- R($x).
+S($y) :- S(<$y>.$z).`)
+	res, err := RewriteTo(prog, "S", Frag("AR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatalf("expected a documented gap, got exact result %s", res.Achieved)
+	}
+	if res.Note == "" {
+		t.Fatal("gap must be explained in Note")
+	}
+	if res.Achieved.Has(P) {
+		t.Fatal("packing must still be eliminated")
+	}
+	checkEquivalent(t, prog, res.Program, "S",
+		randomInstances(6, 6, []string{"R"}, []string{"a", "b"}, 3, 4))
+}
+
+func TestRewriteToNoop(t *testing.T) {
+	prog := mustParse(t, `S($x) :- R($x).`)
+	res, err := RewriteTo(prog, "S", Frag("EINR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || len(res.Steps) != 1 { // prune only
+		t.Fatalf("steps = %v", res.Steps)
+	}
+}
+
+func TestPruneKeepsNegatedDependencies(t *testing.T) {
+	prog := mustParse(t, `
+B($x) :- R($x.$x).
+---
+S($x) :- R($x), !B($x).`)
+	res, err := RewriteTo(prog, "S", Frag("EINR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Rules()) != 2 {
+		t.Fatalf("pruning dropped a needed rule:\n%s", res.Program)
+	}
+	checkEquivalent(t, prog, res.Program, "S",
+		randomInstances(7, 10, []string{"R"}, []string{"a", "b"}, 4, 4))
+}

@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/parser"
+	"seqlog/internal/value"
+)
+
+func BenchmarkMatchTwoPathVars(b *testing.B) {
+	e := ast.Cat(ast.P("x"), ast.C("m"), ast.P("y"))
+	for _, n := range []int{8, 64, 256} {
+		p := value.Concat(value.Repeat("a", n/2), value.PathOf("m"), value.Repeat("b", n/2))
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			env := NewEnv()
+			count := 0
+			for i := 0; i < b.N; i++ {
+				env.Match(e, p, func() { count++ })
+			}
+		})
+	}
+}
+
+func BenchmarkMatchBacktracking(b *testing.B) {
+	// Three unanchored path variables: quadratic split enumeration.
+	e := ast.Cat(ast.P("x"), ast.P("y"), ast.P("z"))
+	p := value.Repeat("a", 64)
+	env := NewEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		env.Match(e, p, func() { count++ })
+	}
+}
+
+func BenchmarkMatchPacked(b *testing.B) {
+	e := ast.Cat(ast.P("u"), ast.Packed(ast.P("s")), ast.P("v"))
+	inner := value.Repeat("a", 8)
+	p := value.Concat(value.Repeat("x", 8), value.Path{value.Pack(inner)}, value.Repeat("y", 8))
+	env := NewEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		env.Match(e, p, func() { count++ })
+	}
+}
+
+func BenchmarkSemiNaiveChain(b *testing.B) {
+	prog := parser.MustParseProgram(`
+T(@x.@y) :- R(@x.@y).
+T(@x.@z) :- T(@x.@y), R(@y.@z).`)
+	for _, n := range []int{16, 48} {
+		edb := parser.MustParseInstance(chainFacts(n))
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Eval(prog, edb, Limits{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func chainFacts(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += fmt.Sprintf("R(n%d.n%d).\n", i, i+1)
+	}
+	return s
+}

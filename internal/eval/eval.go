@@ -1,0 +1,217 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/instance"
+	"seqlog/internal/value"
+)
+
+// ErrNonTermination reports that evaluation exceeded its limits. The
+// paper only considers programs that terminate on every instance
+// (§2.3); programs like Example 2.3 trip this error.
+var ErrNonTermination = errors.New("evaluation exceeded limits (program may not terminate)")
+
+// Limits bound an evaluation. Zero values mean "use the default".
+type Limits struct {
+	// MaxFacts bounds the total number of derived facts.
+	MaxFacts int
+	// MaxIterations bounds fixpoint rounds per stratum.
+	MaxIterations int
+	// MaxPathLen bounds the length of any derived path (0 = unbounded).
+	MaxPathLen int
+}
+
+// DefaultLimits are generous enough for all paper examples.
+var DefaultLimits = Limits{MaxFacts: 1 << 20, MaxIterations: 1 << 20}
+
+func (l Limits) orDefault() Limits {
+	if l.MaxFacts == 0 {
+		l.MaxFacts = DefaultLimits.MaxFacts
+	}
+	if l.MaxIterations == 0 {
+		l.MaxIterations = DefaultLimits.MaxIterations
+	}
+	return l
+}
+
+// Eval computes P(I): the least instance extending edb that satisfies
+// every rule, stratum by stratum (paper §2.3). The input instance is
+// not modified. The result contains the EDB facts plus all derived IDB
+// facts.
+func Eval(prog ast.Program, edb *instance.Instance, limits Limits) (*instance.Instance, error) {
+	limits = limits.orDefault()
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	inst := edb.Clone()
+	derived := 0
+	for si, stratum := range prog.Strata {
+		if err := evalStratum(stratum, inst, limits, &derived); err != nil {
+			return nil, fmt.Errorf("stratum %d: %w", si+1, err)
+		}
+	}
+	return inst, nil
+}
+
+// Query evaluates the program and returns the contents of one output
+// relation as a relation (possibly empty, with arity inferred from the
+// program or defaulting to unary).
+func Query(prog ast.Program, edb *instance.Instance, output string, limits Limits) (*instance.Relation, error) {
+	out, err := Eval(prog, edb, limits)
+	if err != nil {
+		return nil, err
+	}
+	if r := out.Relation(output); r != nil {
+		return r, nil
+	}
+	arities, err := prog.Arities()
+	if err != nil {
+		return nil, err
+	}
+	if a, ok := arities[output]; ok {
+		return instance.NewRelation(a), nil
+	}
+	return instance.NewRelation(1), nil
+}
+
+// Holds evaluates the program and reports whether the nullary output
+// relation holds (boolean queries, §5.1.1).
+func Holds(prog ast.Program, edb *instance.Instance, output string, limits Limits) (bool, error) {
+	out, err := Eval(prog, edb, limits)
+	if err != nil {
+		return false, err
+	}
+	r := out.Relation(output)
+	return r != nil && r.Len() > 0, nil
+}
+
+func evalStratum(stratum ast.Stratum, inst *instance.Instance, limits Limits, derived *int) error {
+	plans := make([]*plan, len(stratum))
+	for i, r := range stratum {
+		p, err := compile(r)
+		if err != nil {
+			return err
+		}
+		plans[i] = p
+	}
+	local := map[string]bool{}
+	for _, r := range stratum {
+		local[r.Head.Name] = true
+	}
+
+	// Round 0: evaluate every rule against the full instance.
+	delta := instance.New()
+	for _, p := range plans {
+		if err := runPlan(p, inst, nil, -1, delta, limits, derived); err != nil {
+			return err
+		}
+	}
+	// Semi-naive rounds: re-evaluate rules with one local positive
+	// predicate restricted to the previous round's delta.
+	for iter := 0; delta.Facts() > 0; iter++ {
+		if iter >= limits.MaxIterations {
+			return fmt.Errorf("%w: %d fixpoint rounds", ErrNonTermination, iter)
+		}
+		next := instance.New()
+		for _, p := range plans {
+			for _, stepIdx := range p.predSteps {
+				name := p.steps[stepIdx].pred.Name
+				if !local[name] || delta.Relation(name) == nil || delta.Relation(name).Len() == 0 {
+					continue
+				}
+				if err := runPlan(p, inst, delta, stepIdx, next, limits, derived); err != nil {
+					return err
+				}
+			}
+		}
+		delta = next
+	}
+	return nil
+}
+
+// runPlan evaluates one rule. If deltaStep >= 0, the positive predicate
+// at that step index iterates over delta instead of the full instance.
+func runPlan(p *plan, inst, delta *instance.Instance, deltaStep int, out *instance.Instance, limits Limits, derived *int) error {
+	env := NewEnv()
+	var evalErr error
+	var exec func(i int)
+	exec = func(i int) {
+		if evalErr != nil {
+			return
+		}
+		if i == len(p.steps) {
+			evalErr = derive(p.rule.Head, env, inst, out, limits, derived)
+			return
+		}
+		s := p.steps[i]
+		switch s.kind {
+		case stepPred:
+			src := inst
+			if i == deltaStep {
+				src = delta
+			}
+			rel := src.Relation(s.pred.Name)
+			if rel == nil {
+				return
+			}
+			if rel.Arity != len(s.pred.Args) {
+				evalErr = fmt.Errorf("predicate %s used with arity %d but relation has arity %d", s.pred.Name, len(s.pred.Args), rel.Arity)
+				return
+			}
+			for _, t := range rel.Tuples() {
+				env.MatchTuple(s.pred.Args, t, func() { exec(i + 1) })
+				if evalErr != nil {
+					return
+				}
+			}
+		case stepEq:
+			ground := env.Eval(s.ground)
+			env.Match(s.pattern, ground, func() { exec(i + 1) })
+		case stepNegPred:
+			rel := inst.Relation(s.pred.Name)
+			if rel != nil {
+				t := make(instance.Tuple, len(s.pred.Args))
+				for k, a := range s.pred.Args {
+					t[k] = env.Eval(a)
+				}
+				if rel.Contains(t) {
+					return
+				}
+			}
+			exec(i + 1)
+		case stepNegEq:
+			l, r := env.Eval(s.ground), env.Eval(s.pattern)
+			if !l.Equal(r) {
+				exec(i + 1)
+			}
+		}
+	}
+	exec(0)
+	return evalErr
+}
+
+func derive(head ast.Pred, env *Env, inst, out *instance.Instance, limits Limits, derived *int) error {
+	t := make(instance.Tuple, len(head.Args))
+	for i, a := range head.Args {
+		p := env.Eval(a)
+		if limits.MaxPathLen > 0 && len(p) > limits.MaxPathLen {
+			return fmt.Errorf("%w: derived path of length %d exceeds limit %d", ErrNonTermination, len(p), limits.MaxPathLen)
+		}
+		t[i] = p
+	}
+	if inst.Ensure(head.Name, len(head.Args)).Add(t) {
+		out.Ensure(head.Name, len(head.Args)).Add(t)
+		*derived++
+		if *derived > limits.MaxFacts {
+			return fmt.Errorf("%w: more than %d derived facts", ErrNonTermination, limits.MaxFacts)
+		}
+	}
+	return nil
+}
+
+// Valuation is an immutable snapshot valuation, used by tests and by
+// the rewrite engine's equivalence checks.
+type Valuation map[ast.Var]value.Path

@@ -1,0 +1,172 @@
+// Package eval implements the semantics of Sequence Datalog programs
+// (paper §2.3): valuations, satisfaction of literals, and the least
+// model of a program on an instance, computed stratum by stratum with
+// semi-naive iteration. Termination is not guaranteed for arbitrary
+// programs (Ex 2.3); configurable limits turn runaway evaluations into
+// ErrNonTermination errors.
+package eval
+
+import (
+	"seqlog/internal/ast"
+	"seqlog/internal/value"
+)
+
+// Env is a mutable valuation under construction: it maps variables to
+// the paths they are bound to (atomic variables to single-atom paths).
+type Env struct {
+	m map[ast.Var]value.Path
+}
+
+// NewEnv creates an empty valuation.
+func NewEnv() *Env { return &Env{m: map[ast.Var]value.Path{}} }
+
+// Lookup returns the binding for v.
+func (e *Env) Lookup(v ast.Var) (value.Path, bool) {
+	p, ok := e.m[v]
+	return p, ok
+}
+
+// Bound reports whether all variables of the expression are bound.
+func (e *Env) Bound(x ast.Expr) bool {
+	for _, v := range x.Vars() {
+		if _, ok := e.m[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot copies the current bindings (for callers that must retain a
+// valuation beyond the match callback).
+func (e *Env) Snapshot() map[ast.Var]value.Path {
+	out := make(map[ast.Var]value.Path, len(e.m))
+	for k, v := range e.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Eval evaluates an expression under the environment; all variables
+// must be bound (guaranteed by safety + literal planning).
+func (e *Env) Eval(x ast.Expr) value.Path {
+	out := make(value.Path, 0, len(x))
+	return e.evalInto(x, out)
+}
+
+func (e *Env) evalInto(x ast.Expr, out value.Path) value.Path {
+	for _, t := range x {
+		switch it := t.(type) {
+		case ast.Const:
+			out = append(out, it.A)
+		case ast.VarT:
+			p, ok := e.m[it.V]
+			if !ok {
+				panic("eval: unbound variable " + it.V.String() + " (unsafe rule slipped through planning)")
+			}
+			out = append(out, p...)
+		case ast.Pack:
+			out = append(out, value.Pack(e.evalInto(it.E, nil)))
+		}
+	}
+	return out
+}
+
+// Match enumerates all ways to extend the environment so that the
+// expression denotes exactly the path p, calling cont for each
+// (bindings are undone between alternatives, so cont must not retain
+// the Env without Snapshot).
+func (e *Env) Match(x ast.Expr, p value.Path, cont func()) {
+	e.matchSeq(x, p, cont)
+}
+
+// minRigid returns a lower bound on the number of path elements the
+// items must consume (path variables may consume zero).
+func (e *Env) minRigid(items []ast.Term) int {
+	n := 0
+	for _, t := range items {
+		switch it := t.(type) {
+		case ast.Const, ast.Pack:
+			n++
+		case ast.VarT:
+			if it.V.Atomic {
+				n++
+			} else if b, ok := e.m[it.V]; ok {
+				n += len(b)
+			}
+		}
+	}
+	return n
+}
+
+func (e *Env) matchSeq(items []ast.Term, p value.Path, cont func()) {
+	if len(items) == 0 {
+		if len(p) == 0 {
+			cont()
+		}
+		return
+	}
+	if e.minRigid(items) > len(p) {
+		return
+	}
+	rest := items[1:]
+	switch it := items[0].(type) {
+	case ast.Const:
+		if len(p) > 0 {
+			if a, ok := p[0].(value.Atom); ok && a == it.A {
+				e.matchSeq(rest, p[1:], cont)
+			}
+		}
+	case ast.Pack:
+		if len(p) > 0 {
+			if pk, ok := p[0].(value.Packed); ok {
+				e.matchSeq(it.E, pk.P, func() {
+					e.matchSeq(rest, p[1:], cont)
+				})
+			}
+		}
+	case ast.VarT:
+		v := it.V
+		if v.Atomic {
+			if len(p) == 0 {
+				return
+			}
+			a, ok := p[0].(value.Atom)
+			if !ok {
+				return
+			}
+			if b, bound := e.m[v]; bound {
+				if len(b) == 1 && value.Equal(b[0], a) {
+					e.matchSeq(rest, p[1:], cont)
+				}
+				return
+			}
+			e.m[v] = value.Path{a}
+			e.matchSeq(rest, p[1:], cont)
+			delete(e.m, v)
+			return
+		}
+		if b, bound := e.m[v]; bound {
+			if len(p) >= len(b) && p[:len(b)].Equal(b) {
+				e.matchSeq(rest, p[len(b):], cont)
+			}
+			return
+		}
+		for k := 0; k <= len(p); k++ {
+			e.m[v] = p[:k]
+			e.matchSeq(rest, p[k:], cont)
+		}
+		delete(e.m, v)
+	}
+}
+
+// MatchTuple enumerates extensions of the environment matching each
+// argument pattern against the corresponding tuple component.
+func (e *Env) MatchTuple(args []ast.Expr, tuple []value.Path, cont func()) {
+	if len(args) == 0 {
+		cont()
+		return
+	}
+	e.Match(args[0], tuple[0], func() {
+		e.MatchTuple(args[1:], tuple[1:], cont)
+	})
+}

@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"testing"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/parser"
+	"seqlog/internal/value"
+)
+
+// allMatches collects the distinct valuations that match e against p.
+func allMatches(t *testing.T, src string, path string) []map[ast.Var]value.Path {
+	t.Helper()
+	rules, err := parser.ParseRules("X(" + src + ").")
+	if err != nil {
+		t.Fatalf("pattern %q: %v", src, err)
+	}
+	e := rules[0].Head.Args[0]
+	p := parser.MustParsePath(path)
+	env := NewEnv()
+	var out []map[ast.Var]value.Path
+	env.Match(e, p, func() {
+		out = append(out, env.Snapshot())
+	})
+	return out
+}
+
+func TestMatchConst(t *testing.T) {
+	if got := allMatches(t, "a.b", "a.b"); len(got) != 1 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	if got := allMatches(t, "a.b", "a.c"); len(got) != 0 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	if got := allMatches(t, "eps", "eps"); len(got) != 1 {
+		t.Fatalf("eps matches = %d", len(got))
+	}
+	if got := allMatches(t, "eps", "a"); len(got) != 0 {
+		t.Fatalf("eps vs a matches = %d", len(got))
+	}
+}
+
+func TestMatchPathVarSplits(t *testing.T) {
+	// $x.$y against a.b.c: 4 splits.
+	got := allMatches(t, "$x.$y", "a.b.c")
+	if len(got) != 4 {
+		t.Fatalf("splits = %d, want 4", len(got))
+	}
+	// Repeated variable: $x.$x against a.b.a.b binds $x=a.b only.
+	got = allMatches(t, "$x.$x", "a.b.a.b")
+	if len(got) != 1 {
+		t.Fatalf("repeated var matches = %d, want 1", len(got))
+	}
+	if !got[0][ast.PVar("x")].Equal(value.PathOf("a", "b")) {
+		t.Fatalf("binding = %v", got[0])
+	}
+	// $x.$x against odd-length path: no match.
+	if got := allMatches(t, "$x.$x", "a.b.a"); len(got) != 0 {
+		t.Fatalf("odd repeated matches = %d", len(got))
+	}
+}
+
+func TestMatchAtomVar(t *testing.T) {
+	got := allMatches(t, "@u.$y", "a.b.c")
+	if len(got) != 1 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	if !got[0][ast.AVar("u")].Equal(value.PathOf("a")) {
+		t.Fatalf("binding = %v", got[0])
+	}
+	// Atomic variables never match packed values.
+	if got := allMatches(t, "@u", "<a>"); len(got) != 0 {
+		t.Fatalf("@u matched packed value")
+	}
+	// But path variables do.
+	if got := allMatches(t, "$u", "<a>"); len(got) != 1 {
+		t.Fatalf("$u should match packed value")
+	}
+	// Repeated atomic variable.
+	if got := allMatches(t, "@a.@a", "x.x"); len(got) != 1 {
+		t.Fatalf("repeated @a on x.x = %d", len(got))
+	}
+	if got := allMatches(t, "@a.@a", "x.y"); len(got) != 0 {
+		t.Fatalf("repeated @a on x.y = %d", len(got))
+	}
+}
+
+func TestMatchPacking(t *testing.T) {
+	got := allMatches(t, "$u.<$s>.$v", "a.<b.c>.d")
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1", len(got))
+	}
+	m := got[0]
+	if !m[ast.PVar("s")].Equal(value.PathOf("b", "c")) {
+		t.Fatalf("$s = %v", m[ast.PVar("s")])
+	}
+	// Nested packing.
+	got = allMatches(t, "<<$x>.$y>", "<<a>.b>")
+	if len(got) != 1 {
+		t.Fatalf("nested = %d", len(got))
+	}
+	if !got[0][ast.PVar("x")].Equal(value.PathOf("a")) {
+		t.Fatalf("nested $x = %v", got[0])
+	}
+	// Packing structure mismatch.
+	if got := allMatches(t, "<$x>", "a"); len(got) != 0 {
+		t.Fatal("packed pattern matched atom")
+	}
+	if got := allMatches(t, "a", "<a>"); len(got) != 0 {
+		t.Fatal("atom pattern matched packed value")
+	}
+	// <eps> matches exactly <eps>.
+	if got := allMatches(t, "<eps>", "<eps>"); len(got) != 1 {
+		t.Fatal("<eps> failed")
+	}
+}
+
+func TestMatchBoundVariableChecks(t *testing.T) {
+	e := ast.Cat(ast.P("x"), ast.C("m"), ast.P("x"))
+	p := parser.MustParsePath("a.b.m.a.b")
+	env := NewEnv()
+	count := 0
+	env.Match(e, p, func() { count++ })
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	// Pre-bound variable restricts matches.
+	env2 := NewEnv()
+	env2.m[ast.PVar("x")] = value.PathOf("a")
+	count = 0
+	env2.Match(ast.Cat(ast.P("x"), ast.P("y")), parser.MustParsePath("a.b"), func() { count++ })
+	if count != 1 {
+		t.Fatalf("prebound count = %d, want 1", count)
+	}
+	env3 := NewEnv()
+	env3.m[ast.PVar("x")] = value.PathOf("z")
+	count = 0
+	env3.Match(ast.Cat(ast.P("x"), ast.P("y")), parser.MustParsePath("a.b"), func() { count++ })
+	if count != 0 {
+		t.Fatalf("conflicting prebound count = %d, want 0", count)
+	}
+}
+
+func TestMatchDistinctValuationCounts(t *testing.T) {
+	cases := []struct {
+		pattern string
+		path    string
+		want    int
+	}{
+		{"$x.$y", "a.b", 3},
+		{"$x.a.$y", "a.a.a", 3},
+		{"$x.$y.$z", "a.b", 6},
+		{"@u.@v", "a.b", 1},
+		{"$x.b.$x", "a.b.a", 1},
+		{"$x.b.$x", "b", 1},
+		{"$x.<$y>.$z", "a.<b>.c.<d>", 2},
+	}
+	for _, c := range cases {
+		got := allMatches(t, c.pattern, c.path)
+		if len(got) != c.want {
+			t.Errorf("%s vs %s: %d matches, want %d", c.pattern, c.path, len(got), c.want)
+		}
+	}
+}
+
+func TestEnvEval(t *testing.T) {
+	env := NewEnv()
+	env.m[ast.PVar("x")] = value.PathOf("a", "b")
+	env.m[ast.AVar("u")] = value.PathOf("c")
+	e := ast.Cat(ast.P("x"), ast.A("u"), ast.Packed(ast.P("x")))
+	got := env.Eval(e)
+	want := value.Path{value.Atom("a"), value.Atom("b"), value.Atom("c"), value.Pack(value.PathOf("a", "b"))}
+	if !got.Equal(want) {
+		t.Fatalf("Eval = %v, want %v", got, want)
+	}
+}

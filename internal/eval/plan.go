@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"fmt"
+
+	"seqlog/internal/ast"
+)
+
+// step is one planned body literal.
+type step struct {
+	kind stepKind
+	pred ast.Pred // for predicate steps
+	// For equation steps: ground is evaluated under the environment and
+	// pattern is matched against the result, binding its variables.
+	ground  ast.Expr
+	pattern ast.Expr
+	// For negated equations both sides are ground at execution time.
+	neg bool
+}
+
+type stepKind int
+
+const (
+	stepPred    stepKind = iota // positive predicate: join/match
+	stepEq                      // positive equation: evaluate + match
+	stepNegPred                 // negated predicate: ground membership test
+	stepNegEq                   // negated equation: ground comparison
+)
+
+// plan is a compiled rule: steps execute left to right; positive
+// predicates first, then positive equations in limited-closure order,
+// then negative literals (whose variables are bound by safety).
+type plan struct {
+	rule  ast.Rule
+	steps []step
+	// predLocal[i] is, for each stepPred index in order, the offset of
+	// that predicate step within p.steps. Used by semi-naive deltas.
+	predSteps []int
+}
+
+// compile orders the body literals of a safe rule per §2.2's limited
+// variable closure. It fails on unsafe rules.
+func compile(r ast.Rule) (*plan, error) {
+	p := &plan{rule: r}
+	bound := map[ast.Var]bool{}
+	// 1. Positive predicates, in the order written.
+	for _, l := range r.Body {
+		if l.Neg {
+			continue
+		}
+		if pr, ok := l.Atom.(ast.Pred); ok {
+			p.predSteps = append(p.predSteps, len(p.steps))
+			p.steps = append(p.steps, step{kind: stepPred, pred: pr})
+			for _, a := range pr.Args {
+				for _, v := range a.Vars() {
+					bound[v] = true
+				}
+			}
+		}
+	}
+	// 2. Positive equations, greedily picking one with a fully bound side.
+	var eqs []ast.Eq
+	for _, l := range r.Body {
+		if l.Neg {
+			continue
+		}
+		if eq, ok := l.Atom.(ast.Eq); ok {
+			eqs = append(eqs, eq)
+		}
+	}
+	for len(eqs) > 0 {
+		progress := false
+		for i, eq := range eqs {
+			lb, rb := varsBound(eq.L, bound), varsBound(eq.R, bound)
+			if !lb && !rb {
+				continue
+			}
+			g, pat := eq.L, eq.R
+			if !lb {
+				g, pat = eq.R, eq.L
+			}
+			p.steps = append(p.steps, step{kind: stepEq, ground: g, pattern: pat})
+			for _, v := range pat.Vars() {
+				bound[v] = true
+			}
+			eqs = append(eqs[:i], eqs[i+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("eval: rule is unsafe (equations cannot be ordered): %s", r)
+		}
+	}
+	// 3. Negative literals; all their variables must now be bound.
+	for _, l := range r.Body {
+		if !l.Neg {
+			continue
+		}
+		switch x := l.Atom.(type) {
+		case ast.Pred:
+			for _, a := range x.Args {
+				if !varsBound(a, bound) {
+					return nil, fmt.Errorf("eval: unsafe negated predicate %s in rule %s", x, r)
+				}
+			}
+			p.steps = append(p.steps, step{kind: stepNegPred, pred: x, neg: true})
+		case ast.Eq:
+			if !varsBound(x.L, bound) || !varsBound(x.R, bound) {
+				return nil, fmt.Errorf("eval: unsafe nonequality %s != %s in rule %s", x.L, x.R, r)
+			}
+			p.steps = append(p.steps, step{kind: stepNegEq, ground: x.L, pattern: x.R, neg: true})
+		}
+	}
+	// 4. Head variables must be bound.
+	for _, a := range r.Head.Args {
+		if !varsBound(a, bound) {
+			return nil, fmt.Errorf("eval: unsafe head %s in rule %s", r.Head, r)
+		}
+	}
+	return p, nil
+}
+
+func varsBound(e ast.Expr, bound map[ast.Var]bool) bool {
+	for _, v := range e.Vars() {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}

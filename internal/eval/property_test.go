@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/value"
+)
+
+// randomExpr builds a random path expression over a small variable and
+// atom vocabulary; linear (no repeated variables) when linear is set.
+func randomExpr(r *rand.Rand, depth int, linear bool, used map[ast.Var]bool) ast.Expr {
+	n := r.Intn(4)
+	e := ast.Expr{}
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			e = append(e, ast.Const{A: value.Atom([]string{"a", "b"}[r.Intn(2)])})
+		case 1:
+			v := ast.PVar([]string{"x", "y", "z"}[r.Intn(3)])
+			if linear && used[v] {
+				continue
+			}
+			used[v] = true
+			e = append(e, ast.VarT{V: v})
+		case 2:
+			v := ast.AVar([]string{"u", "w"}[r.Intn(2)])
+			if linear && used[v] {
+				continue
+			}
+			used[v] = true
+			e = append(e, ast.VarT{V: v})
+		case 3:
+			if depth > 0 {
+				e = append(e, ast.Pack{E: randomExpr(r, depth-1, linear, used)})
+			}
+		}
+	}
+	return e
+}
+
+// randomValuation grounds the variables of e randomly.
+func randomValuation(r *rand.Rand, vars []ast.Var) map[ast.Var]value.Path {
+	nu := map[ast.Var]value.Path{}
+	for _, v := range vars {
+		if v.Atomic {
+			nu[v] = value.Path{value.Atom([]string{"a", "b", "c"}[r.Intn(3)])}
+			continue
+		}
+		n := r.Intn(3)
+		p := make(value.Path, 0, n)
+		for i := 0; i < n; i++ {
+			if r.Intn(5) == 0 {
+				p = append(p, value.Pack(value.PathOf("q")))
+			} else {
+				p = append(p, value.Atom([]string{"a", "b"}[r.Intn(2)]))
+			}
+		}
+		nu[v] = p
+	}
+	return nu
+}
+
+func applyValuation(e ast.Expr, nu map[ast.Var]value.Path) value.Path {
+	var out value.Path
+	for _, t := range e {
+		switch x := t.(type) {
+		case ast.Const:
+			out = append(out, x.A)
+		case ast.VarT:
+			out = append(out, nu[x.V]...)
+		case ast.Pack:
+			out = append(out, value.Pack(applyValuation(x.E, nu)))
+		}
+	}
+	return out
+}
+
+// TestMatchSoundness: every enumerated match evaluates back to the
+// matched path.
+func TestMatchSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 3000; trial++ {
+		e := randomExpr(r, 2, false, map[ast.Var]bool{})
+		nu := randomValuation(r, e.Vars())
+		p := applyValuation(e, nu)
+		env := NewEnv()
+		env.Match(e, p, func() {
+			got := env.Eval(e)
+			if !got.Equal(p) {
+				t.Fatalf("unsound match: %s on %s gives %s (env %v)", e, p, got, env.Snapshot())
+			}
+		})
+	}
+}
+
+// TestMatchCompleteness: the valuation that produced the path is among
+// the enumerated matches.
+func TestMatchCompleteness(t *testing.T) {
+	r := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 3000; trial++ {
+		e := randomExpr(r, 2, false, map[ast.Var]bool{})
+		vars := e.Vars()
+		nu := randomValuation(r, vars)
+		p := applyValuation(e, nu)
+		found := false
+		env := NewEnv()
+		env.Match(e, p, func() {
+			if found {
+				return
+			}
+			ok := true
+			for _, v := range vars {
+				b, bound := env.Lookup(v)
+				if !bound || !b.Equal(nu[v]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("incomplete match: %s with %v on %s", e, nu, p)
+		}
+	}
+}
+
+// TestMatchNoDuplicates: distinct callbacks yield distinct valuations.
+func TestMatchNoDuplicates(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 1500; trial++ {
+		e := randomExpr(r, 1, false, map[ast.Var]bool{})
+		vars := e.Vars()
+		nu := randomValuation(r, vars)
+		p := applyValuation(e, nu)
+		seen := map[string]bool{}
+		env := NewEnv()
+		env.Match(e, p, func() {
+			key := ""
+			for _, v := range vars {
+				b, _ := env.Lookup(v)
+				key += v.String() + "=" + b.Key() + ";"
+			}
+			if seen[key] {
+				t.Fatalf("duplicate valuation %s for %s on %s", key, e, p)
+			}
+			seen[key] = true
+		})
+	}
+}

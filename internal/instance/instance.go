@@ -1,0 +1,341 @@
+// Package instance implements database instances over the sequence data
+// model (paper §2.1, §2.3): finite relations of path tuples, viewed
+// equivalently as sets of facts.
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seqlog/internal/value"
+)
+
+// Tuple is one row of a relation: a fixed-arity list of paths.
+type Tuple []value.Path
+
+// Key returns a canonical injective encoding of the tuple.
+func (t Tuple) Key() string {
+	parts := make([]string, len(t))
+	for i, p := range t {
+		parts[i] = p.Key()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// Equal reports component-wise path equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples component-wise.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	return len(t) - len(u)
+}
+
+// String renders the tuple as (p1, ..., pn).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, p := range t {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is a finite n-ary relation on paths with set semantics and
+// deterministic iteration order (insertion order; Sorted() for canonical
+// order).
+type Relation struct {
+	Arity  int
+	keys   map[string]int
+	tuples []Tuple
+}
+
+// NewRelation creates an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{Arity: arity, keys: map[string]int{}}
+}
+
+// Add inserts a tuple; it reports whether the tuple was new.
+// Adding a tuple of the wrong arity panics: this is a programming error.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("instance: arity mismatch: tuple %v into arity-%d relation", t, r.Arity))
+	}
+	k := t.Key()
+	if _, ok := r.keys[k]; ok {
+		return false
+	}
+	r.keys[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	return true
+}
+
+// Contains reports membership.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.keys[t.Key()]
+	return ok
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the tuples in insertion order. The slice is shared;
+// callers must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Sorted returns the tuples in canonical order.
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns an independent copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.Arity)
+	for _, t := range r.tuples {
+		out.Add(t)
+	}
+	return out
+}
+
+// Equal reports set equality of two relations.
+func (r *Relation) Equal(s *Relation) bool {
+	if r.Len() != s.Len() || r.Arity != s.Arity {
+		return false
+	}
+	for k := range r.keys {
+		if _, ok := s.keys[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Instance assigns finite relations to relation names (paper §2.1).
+type Instance struct {
+	rels map[string]*Relation
+}
+
+// New creates an empty instance.
+func New() *Instance { return &Instance{rels: map[string]*Relation{}} }
+
+// Relation returns the named relation or nil.
+func (i *Instance) Relation(name string) *Relation { return i.rels[name] }
+
+// Ensure returns the named relation, creating it with the given arity if
+// absent. It panics on an arity clash: schemas fix arities.
+func (i *Instance) Ensure(name string, arity int) *Relation {
+	if r, ok := i.rels[name]; ok {
+		if r.Arity != arity {
+			panic(fmt.Sprintf("instance: relation %s has arity %d, requested %d", name, r.Arity, arity))
+		}
+		return r
+	}
+	r := NewRelation(arity)
+	i.rels[name] = r
+	return r
+}
+
+// Add inserts the fact name(t...) creating the relation as needed.
+func (i *Instance) Add(name string, t Tuple) bool {
+	return i.Ensure(name, len(t)).Add(t)
+}
+
+// AddPath inserts a unary fact.
+func (i *Instance) AddPath(name string, p value.Path) bool {
+	return i.Add(name, Tuple{p})
+}
+
+// AddFact inserts a nullary fact (a boolean flag relation).
+func (i *Instance) AddFact(name string) bool { return i.Add(name, Tuple{}) }
+
+// Has reports whether the fact is present.
+func (i *Instance) Has(name string, t Tuple) bool {
+	r := i.rels[name]
+	return r != nil && r.Contains(t)
+}
+
+// Names returns the relation names, sorted.
+func (i *Instance) Names() []string {
+	out := make([]string, 0, len(i.rels))
+	for n := range i.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Facts returns the total number of facts.
+func (i *Instance) Facts() int {
+	n := 0
+	for _, r := range i.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (i *Instance) Clone() *Instance {
+	out := New()
+	for n, r := range i.rels {
+		out.rels[n] = r.Clone()
+	}
+	return out
+}
+
+// Restrict returns a copy containing only the named relations.
+func (i *Instance) Restrict(names ...string) *Instance {
+	out := New()
+	for _, n := range names {
+		if r, ok := i.rels[n]; ok {
+			out.rels[n] = r.Clone()
+		}
+	}
+	return out
+}
+
+// Merge adds all facts of j into i.
+func (i *Instance) Merge(j *Instance) {
+	for _, n := range j.Names() {
+		r := j.rels[n]
+		dst := i.Ensure(n, r.Arity)
+		for _, t := range r.Tuples() {
+			dst.Add(t)
+		}
+	}
+}
+
+// Equal reports whether two instances hold exactly the same facts.
+// Empty relations are equivalent to absent ones.
+func (i *Instance) Equal(j *Instance) bool {
+	for _, n := range i.Names() {
+		r := i.rels[n]
+		if r.Len() == 0 {
+			continue
+		}
+		s := j.rels[n]
+		if s == nil || !r.Equal(s) {
+			return false
+		}
+	}
+	for _, n := range j.Names() {
+		s := j.rels[n]
+		if s.Len() == 0 {
+			continue
+		}
+		r := i.rels[n]
+		if r == nil || !r.Equal(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFlat reports whether no packed value occurs anywhere (paper §3.1).
+func (i *Instance) IsFlat() bool {
+	for _, r := range i.rels {
+		for _, t := range r.Tuples() {
+			for _, p := range t {
+				if !p.IsFlat() {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsMonadic reports whether every relation has arity zero or one.
+func (i *Instance) IsMonadic() bool {
+	for _, r := range i.rels {
+		if r.Arity > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxPathLen returns the maximal length of a path in the instance.
+func (i *Instance) MaxPathLen() int {
+	m := 0
+	for _, r := range i.rels {
+		for _, t := range r.Tuples() {
+			for _, p := range t {
+				if len(p) > m {
+					m = len(p)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// String renders all facts sorted, one per line, as "R(p1, ..., pn).".
+func (i *Instance) String() string {
+	var b strings.Builder
+	for _, n := range i.Names() {
+		r := i.rels[n]
+		for _, t := range r.Sorted() {
+			b.WriteString(n)
+			if len(t) > 0 {
+				parts := make([]string, len(t))
+				for k, p := range t {
+					parts[k] = p.String()
+				}
+				b.WriteString("(" + strings.Join(parts, ", ") + ")")
+			}
+			b.WriteString(".\n")
+		}
+	}
+	return b.String()
+}
+
+// Diff describes the first difference between two instances, for test
+// failure messages; it returns "" when equal.
+func Diff(a, b *Instance) string {
+	for _, n := range a.Names() {
+		r := a.Relation(n)
+		if r.Len() == 0 {
+			continue
+		}
+		s := b.Relation(n)
+		for _, t := range r.Sorted() {
+			if s == nil || !s.Contains(t) {
+				return fmt.Sprintf("only in first: %s%s", n, t)
+			}
+		}
+	}
+	for _, n := range b.Names() {
+		s := b.Relation(n)
+		if s.Len() == 0 {
+			continue
+		}
+		r := a.Relation(n)
+		for _, t := range s.Sorted() {
+			if r == nil || !r.Contains(t) {
+				return fmt.Sprintf("only in second: %s%s", n, t)
+			}
+		}
+	}
+	return ""
+}

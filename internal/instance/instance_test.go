@@ -1,0 +1,130 @@
+package instance
+
+import (
+	"testing"
+
+	"seqlog/internal/value"
+)
+
+func tup(paths ...value.Path) Tuple { return paths }
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := NewRelation(1)
+	if !r.Add(tup(value.PathOf("a", "b"))) {
+		t.Fatal("first add must be new")
+	}
+	if r.Add(tup(value.PathOf("a", "b"))) {
+		t.Fatal("duplicate add must report false")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if !r.Contains(tup(value.PathOf("a", "b"))) {
+		t.Fatal("Contains broken")
+	}
+}
+
+func TestRelationArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch must panic")
+		}
+	}()
+	NewRelation(2).Add(tup(value.PathOf("a")))
+}
+
+func TestTupleKeyDistinguishesComponents(t *testing.T) {
+	a := tup(value.PathOf("a"), value.PathOf("b"))
+	b := tup(value.PathOf("a", "b"), value.Epsilon)
+	c := tup(value.Epsilon, value.PathOf("a", "b"))
+	if a.Key() == b.Key() || b.Key() == c.Key() || a.Key() == c.Key() {
+		t.Fatal("tuple keys collide")
+	}
+}
+
+func TestInstanceEqualAndDiff(t *testing.T) {
+	i := New()
+	i.AddPath("R", value.PathOf("a"))
+	i.AddPath("R", value.PathOf("b"))
+	j := New()
+	j.AddPath("R", value.PathOf("b"))
+	j.AddPath("R", value.PathOf("a"))
+	if !i.Equal(j) {
+		t.Fatal("order must not matter")
+	}
+	j.AddPath("S", value.PathOf("c"))
+	if i.Equal(j) {
+		t.Fatal("extra relation not detected")
+	}
+	if Diff(i, j) == "" {
+		t.Fatal("Diff must report difference")
+	}
+	// Empty relations equal absent ones.
+	k := i.Clone()
+	k.Ensure("Z", 1)
+	if !i.Equal(k) || Diff(i, k) != "" {
+		t.Fatal("empty relation must equal absent relation")
+	}
+}
+
+func TestInstanceFlatMonadic(t *testing.T) {
+	i := New()
+	i.AddPath("R", value.PathOf("a", "b"))
+	if !i.IsFlat() || !i.IsMonadic() {
+		t.Fatal("flat monadic misdetected")
+	}
+	i.AddPath("P", value.Path{value.Pack(value.PathOf("a"))})
+	if i.IsFlat() {
+		t.Fatal("packed value not detected")
+	}
+	i.Add("D", tup(value.PathOf("a"), value.PathOf("b")))
+	if i.IsMonadic() {
+		t.Fatal("binary relation not detected")
+	}
+}
+
+func TestInstanceCloneIndependent(t *testing.T) {
+	i := New()
+	i.AddPath("R", value.PathOf("a"))
+	j := i.Clone()
+	j.AddPath("R", value.PathOf("b"))
+	if i.Relation("R").Len() != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestMergeRestrictFacts(t *testing.T) {
+	i := New()
+	i.AddPath("R", value.PathOf("a"))
+	j := New()
+	j.AddPath("R", value.PathOf("b"))
+	j.AddPath("S", value.PathOf("c"))
+	i.Merge(j)
+	if i.Facts() != 3 {
+		t.Fatalf("Facts = %d", i.Facts())
+	}
+	r := i.Restrict("S")
+	if r.Facts() != 1 || r.Relation("R") != nil {
+		t.Fatal("Restrict broken")
+	}
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	r := NewRelation(1)
+	r.Add(tup(value.PathOf("b")))
+	r.Add(tup(value.PathOf("a")))
+	r.Add(tup(value.PathOf("a", "a")))
+	s := r.Sorted()
+	if s[0].String() != "(a)" || s[1].String() != "(a.a)" || s[2].String() != "(b)" {
+		t.Fatalf("Sorted = %v", s)
+	}
+}
+
+func TestMaxPathLen(t *testing.T) {
+	i := New()
+	i.AddPath("R", value.PathOf("a", "b", "c"))
+	i.AddFact("A")
+	if i.MaxPathLen() != 3 {
+		t.Fatalf("MaxPathLen = %d", i.MaxPathLen())
+	}
+}

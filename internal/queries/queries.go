@@ -1,0 +1,278 @@
+// Package queries collects every example program of the paper as a
+// named, parsed, validated Program, for use by tests, benchmarks, the
+// CLI tools, and the examples.
+package queries
+
+import (
+	"fmt"
+	"sort"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/parser"
+)
+
+// Query is a named program with its designated output relation.
+type Query struct {
+	// Name identifies the query (e.g. "only-as-equation").
+	Name string
+	// Source cites the paper location (e.g. "Example 3.1").
+	Source string
+	// Doc describes what the query computes.
+	Doc string
+	// Program is the parsed program.
+	Program ast.Program
+	// Output is the designated output relation.
+	Output string
+	// EDB lists the input relation names.
+	EDB []string
+	// Terminating is false for Example 2.3.
+	Terminating bool
+}
+
+// Fragment reports the query program's feature set.
+func (q Query) Fragment() ast.FeatureSet { return q.Program.Features() }
+
+var registry = map[string]Query{}
+
+func register(q Query) Query {
+	if _, dup := registry[q.Name]; dup {
+		panic("queries: duplicate " + q.Name)
+	}
+	registry[q.Name] = q
+	return q
+}
+
+func mustProgram(src string) ast.Program { return parser.MustParseProgram(src) }
+
+// Get returns a registered query by name.
+func Get(name string) (Query, error) {
+	q, ok := registry[name]
+	if !ok {
+		return Query{}, fmt.Errorf("queries: unknown query %q (see queries.Names())", name)
+	}
+	return q, nil
+}
+
+// Names lists the registered query names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered query, sorted by name.
+func All() []Query {
+	var out []Query
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// OnlyAsEquation is Example 3.1's {E} program: paths from R consisting
+// exclusively of a's, via the equation a.$x = $x.a.
+var OnlyAsEquation = register(Query{
+	Name:   "only-as-equation",
+	Source: "Example 3.1",
+	Doc:    "paths from R that consist exclusively of a's, using one equation",
+	Program: mustProgram(`
+S($x) :- R($x), a.$x = $x.a.`),
+	Output: "S", EDB: []string{"R"}, Terminating: true,
+})
+
+// OnlyAsRecursion is Example 3.1's {A, I, R} program for the same query.
+var OnlyAsRecursion = register(Query{
+	Name:   "only-as-recursion",
+	Source: "Example 3.1",
+	Doc:    "paths from R that consist exclusively of a's, using recursion",
+	Program: mustProgram(`
+T($x, $x) :- R($x).
+T($x, $y) :- T($x, $y.a).
+S($x) :- T($x, eps).`),
+	Output: "S", EDB: []string{"R"}, Terminating: true,
+})
+
+// NFAAccept is Example 2.1: strings from R accepted by the NFA
+// (N initial states, D transitions, F final states).
+var NFAAccept = register(Query{
+	Name:   "nfa-accept",
+	Source: "Example 2.1",
+	Doc:    "strings from R accepted by the NFA given by N, D, F",
+	Program: mustProgram(`
+S(@q.$x, eps) :- R($x), N(@q).
+S(@q2.$y, $z.@a) :- S(@q1.@a.$y, $z), D(@q1, @a, @q2).
+A($x) :- S(@q, $x), F(@q).`),
+	Output: "A", EDB: []string{"R", "N", "D", "F"}, Terminating: true,
+})
+
+// ThreeOccurrences is Example 2.2: checks whether strings from S occur
+// at least three different times as substrings of strings from R,
+// using packing and nonequalities.
+var ThreeOccurrences = register(Query{
+	Name:   "three-occurrences",
+	Source: "Example 2.2",
+	Doc:    "at least three different occurrences of an S-string inside R-strings",
+	Program: mustProgram(`
+T($u.<$s>.$v) :- R($u.$s.$v), S($s).
+A :- T($x), T($y), T($z), $x != $y, $x != $z, $y != $z.`),
+	Output: "A", EDB: []string{"R", "S"}, Terminating: true,
+})
+
+// NonTerminating is Example 2.3: the two-rule program that terminates
+// on no instance.
+var NonTerminating = register(Query{
+	Name:   "non-terminating",
+	Source: "Example 2.3",
+	Doc:    "the classic nonterminating program T(a). T(a.$x) :- T($x).",
+	Program: mustProgram(`
+T(a).
+T(a.$x) :- T($x).`),
+	Output: "T", EDB: nil, Terminating: false,
+})
+
+// ReverseArity is Example 4.3: reversal with a binary predicate.
+var ReverseArity = register(Query{
+	Name:   "reverse-arity",
+	Source: "Example 4.3",
+	Doc:    "reversals of the paths in R, using a binary accumulator",
+	Program: mustProgram(`
+T($x, eps) :- R($x).
+T($x, $y.@u) :- T($x.@u, $y).
+S($x) :- T(eps, $x).`),
+	Output: "S", EDB: []string{"R"}, Terminating: true,
+})
+
+// ReverseNoArity is Example 4.3's unary rewriting via Lemma 4.1 (with
+// markers a and b, exactly as printed in the paper).
+var ReverseNoArity = register(Query{
+	Name:   "reverse-noarity",
+	Source: "Example 4.3",
+	Doc:    "reversals of the paths in R, arity eliminated as in the paper",
+	Program: mustProgram(`
+T($x.a.a.$x.b) :- R($x).
+T($x.a.$y.@u.a.$x.b.$y.@u) :- T($x.@u.a.$y.a.$x.@u.b.$y).
+S($x) :- T(a.$x.a.b.$x).`),
+	Output: "S", EDB: []string{"R"}, Terminating: true,
+})
+
+// MirrorNonequal is Example 4.6: paths a1..an.bn..b1 with ai != bi.
+var MirrorNonequal = register(Query{
+	Name:   "mirror-nonequal",
+	Source: "Example 4.6",
+	Doc:    "paths that split as a1..an.bn..b1 with ai != bi for all i",
+	Program: mustProgram(`
+U($x, $x) :- R($x).
+U($x, $y) :- U($x, @a.$y.@b), @a != @b.
+S($x) :- U($x, eps).`),
+	Output: "S", EDB: []string{"R"}, Terminating: true,
+})
+
+// Squaring is the query from Theorem 5.3: for R(a^n), output a^(n²);
+// it witnesses the primitivity of recursion.
+var Squaring = register(Query{
+	Name:   "squaring",
+	Source: "Theorem 5.3",
+	Doc:    "a^(n^2) for every a^n in R; inexpressible without recursion",
+	Program: mustProgram(`
+T(eps, $x, $x) :- R($x).
+T($y.$x, $x, $z) :- T($y, $x, a.$z).
+S($y) :- T($y, $x, eps).`),
+	Output: "S", EDB: []string{"R"}, Terminating: true,
+})
+
+// Reachability is the §5.1.1 program: is b reachable from a in the
+// graph whose edges are the length-two paths of R?
+var Reachability = register(Query{
+	Name:   "reachability",
+	Source: "Section 5.1.1",
+	Doc:    "boolean: node b reachable from node a over length-2 edge paths",
+	Program: mustProgram(`
+T(@x.@y) :- R(@x.@y).
+T(@x.@z) :- T(@x.@y), R(@y.@z).
+S :- T(a.b).`),
+	Output: "S", EDB: []string{"R"}, Terminating: true,
+})
+
+// BlackNodes is the Theorem 5.5 program: nodes all of whose successors
+// are black; it witnesses the primitivity of intermediate predicates
+// in the presence of negation.
+var BlackNodes = register(Query{
+	Name:   "black-nodes",
+	Source: "Theorem 5.5",
+	Doc:    "nodes with only edges to black nodes (requires I with N)",
+	Program: mustProgram(`
+W(@x) :- R(@x.@y), !B(@y).
+---
+S(@x) :- R(@x.@y), !W(@x).`),
+	Output: "S", EDB: []string{"R", "B"}, Terminating: true,
+})
+
+// EvenLengthPacked is a terminating recursive program exercising
+// packing (used for the Theorem 4.15 doubling simulation): S holds the
+// even-length paths of R, found by consuming two atoms per step while
+// deepening a packed accumulator.
+var EvenLengthPacked = register(Query{
+	Name:   "even-length-packed",
+	Source: "Theorem 4.15 (exercise)",
+	Doc:    "even-length paths of R via a packed accumulator",
+	Program: mustProgram(`
+T($x, $x, eps) :- R($x).
+T($x, $y, <$d>) :- T($x, @a.@b.$y, $d).
+S($x) :- T($x, eps, $d).`),
+	Output: "S", EDB: []string{"R"}, Terminating: true,
+})
+
+// ProcessMining is the introduction's process-mining query: logs in
+// which every occurrence of 'complete order' is followed (eventually)
+// by 'receive payment'.
+var ProcessMining = register(Query{
+	Name:   "process-mining",
+	Source: "Section 1 (process mining)",
+	Doc:    "logs where every 'complete order' is eventually followed by 'receive payment'",
+	Program: mustProgram(`
+After($v) :- L($u.'complete order'.$v), $v = $w.'receive payment'.$z.
+Bad($x) :- L($x), $x = $u.'complete order'.$v, !After($v).
+S($x) :- L($x), !Bad($x).`),
+	Output: "S", EDB: []string{"L"}, Terminating: true,
+})
+
+// DeepEqual is the introduction's JSON motivation: two objects
+// (as sets of root-to-value paths) are deep-equal iff the path sets
+// coincide; the nullary output holds when they differ.
+var DeepEqual = register(Query{
+	Name:   "deep-unequal",
+	Source: "Section 1 (JSON)",
+	Doc:    "boolean: the path sets J1 and J2 differ",
+	Program: mustProgram(`
+A :- J1($x), !J2($x).
+A :- J2($x), !J1($x).`),
+	Output: "A", EDB: []string{"J1", "J2"}, Terminating: true,
+})
+
+// SalesByYear is the introduction's JSON restructuring: Sales holds
+// item–year–value paths; the query regroups them as year–item–value.
+var SalesByYear = register(Query{
+	Name:   "sales-by-year",
+	Source: "Section 1 (JSON)",
+	Doc:    "swap the first two elements of every length-3 path",
+	Program: mustProgram(`
+S(@year.@item.@value) :- Sales(@item.@year.@value).`),
+	Output: "S", EDB: []string{"Sales"}, Terminating: true,
+})
+
+// GraphPathsAllNodes is the introduction's graph-database query: the
+// nodes that belong to all paths in a given set of paths.
+var GraphPathsAllNodes = register(Query{
+	Name:   "nodes-on-all-paths",
+	Source: "Section 1 (graph databases)",
+	Doc:    "nodes occurring on every path stored in P",
+	Program: mustProgram(`
+Node(@n) :- P($u.@n.$v).
+On(@n.$p) :- Node(@n), P($p), $p = $u.@n.$v.
+Missing(@n) :- Node(@n), P($p), !On(@n.$p).
+S(@n) :- Node(@n), !Missing(@n).`),
+	Output: "S", EDB: []string{"P"}, Terminating: true,
+})

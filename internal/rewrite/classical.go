@@ -1,0 +1,333 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/instance"
+	"seqlog/internal/value"
+)
+
+// ToClassical translates a Sequence Datalog program (without packing
+// and with monadic predicates) into a classical program over the
+// two-bounded encoding of Lemma 5.4: every relation R is replaced by a
+// unary R1 (length-one paths) and a binary R2 (length-two paths), path
+// variables disappear, and all remaining terms are atomic. The
+// translation is faithful on two-bounded instances — instances in
+// which every relation only ever holds paths of length one or two —
+// provided the program also only derives such paths (the lemma's
+// premise).
+//
+// Classical equalities between atomic terms are resolved by
+// substitution; atomic nonequalities remain (they are the classical
+// "≠" built-in).
+func ToClassical(p ast.Program) (ast.Program, error) {
+	f := p.Features()
+	if f.Has(ast.FeatPacking) {
+		return ast.Program{}, errf("classical", "", "packing is not allowed in Lemma 5.4 (fragment {E, N, R})")
+	}
+	if f.Has(ast.FeatArity) {
+		return ast.Program{}, errf("classical", "", "arity > 1 is not allowed in Lemma 5.4 (monadic schemas)")
+	}
+	gen := ast.NewNameGen(p)
+	out := ast.Program{Strata: make([]ast.Stratum, 0, len(p.Strata))}
+	for _, s := range p.Strata {
+		var stratum ast.Stratum
+		for _, r := range s {
+			expanded, err := expandPathVars(r.Clone(), gen)
+			if err != nil {
+				return ast.Program{}, err
+			}
+			for _, er := range expanded {
+				crs, alive, err := classicalize(er)
+				if err != nil {
+					return ast.Program{}, err
+				}
+				if alive {
+					stratum = append(stratum, crs...)
+				}
+			}
+		}
+		stratum = dedupeRules(stratum)
+		if len(stratum) > 0 {
+			out.Strata = append(out.Strata, stratum)
+		}
+	}
+	if len(out.Strata) == 0 {
+		out.Strata = []ast.Stratum{{}}
+	}
+	if err := out.Validate(); err != nil {
+		return ast.Program{}, errf("classical", "", "translation produced an invalid program: %v\n%s", err, out)
+	}
+	return out, nil
+}
+
+// expandPathVars replaces every path variable by ε, @x, or @x1·@x2
+// (three rule versions per variable), per the proof of Lemma 5.4.
+func expandPathVars(r ast.Rule, gen *ast.NameGen) ([]ast.Rule, error) {
+	var pathVar *ast.Var
+	for _, v := range r.Vars() {
+		if !v.Atomic {
+			pathVar = &v
+			break
+		}
+	}
+	if pathVar == nil {
+		return []ast.Rule{r}, nil
+	}
+	a1 := gen.FreshVar("c", true)
+	a2 := gen.FreshVar("c", true)
+	subs := []ast.Subst{
+		{*pathVar: ast.Eps()},
+		{*pathVar: ast.Expr{ast.VarT{V: a1}}},
+		{*pathVar: ast.Cat(ast.Expr{ast.VarT{V: a1}}, ast.Expr{ast.VarT{V: a2}})},
+	}
+	var out []ast.Rule
+	for _, sub := range subs {
+		rest, err := expandPathVars(r.ApplySubst(sub), gen)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rest...)
+	}
+	return out, nil
+}
+
+// classicalize resolves atomic equations, drops unsatisfiable or
+// vacuous literals, and renames predicates to their R1/R2 forms;
+// nonequalities between longer sequences split the rule into copies.
+// alive=false means the rule can never fire on two-bounded instances.
+func classicalize(r ast.Rule) ([]ast.Rule, bool, error) {
+	// Resolve positive equations by substitution or constant checks.
+	for changed := true; changed; {
+		changed = false
+		for i, l := range r.Body {
+			if l.Neg {
+				continue
+			}
+			eq, ok := l.Atom.(ast.Eq)
+			if !ok {
+				continue
+			}
+			if len(eq.L) != len(eq.R) {
+				return nil, false, nil // unsatisfiable lengths
+			}
+			if len(eq.L) == 0 {
+				r.Body = append(r.Body[:i], r.Body[i+1:]...)
+				changed = true
+				break
+			}
+			// Split multi-atom equations into the first pair plus rest.
+			first := ast.Eq{L: eq.L[:1], R: eq.R[:1]}
+			rest := ast.Eq{L: eq.L[1:], R: eq.R[1:]}
+			sub, ok, sat := resolveAtomicEq(first)
+			if !sat {
+				return nil, false, nil
+			}
+			var newBody []ast.Literal
+			newBody = append(newBody, r.Body[:i]...)
+			if len(rest.L) > 0 {
+				newBody = append(newBody, ast.Pos(rest))
+			}
+			newBody = append(newBody, r.Body[i+1:]...)
+			r = ast.Rule{Head: r.Head, Body: newBody}
+			if ok {
+				r = r.ApplySubst(sub)
+			}
+			changed = true
+			break
+		}
+	}
+	// Negated equations: drop vacuous ones, keep atomic nonequalities;
+	// a nonequality between longer atomic sequences is a disjunction of
+	// position-wise nonequalities, so the rule splits into copies.
+	var body []ast.Literal
+	var splits [][]ast.Literal
+	for _, l := range r.Body {
+		eq, ok := l.Atom.(ast.Eq)
+		if !ok || !l.Neg {
+			body = append(body, l)
+			continue
+		}
+		if len(eq.L) != len(eq.R) {
+			continue // always true on atomic sequences
+		}
+		if len(eq.L) == 0 {
+			return nil, false, nil // eps != eps never holds
+		}
+		if len(eq.L) == 1 {
+			if c1, ok1 := eq.L[0].(ast.Const); ok1 {
+				if c2, ok2 := eq.R[0].(ast.Const); ok2 {
+					if c1.A == c2.A {
+						return nil, false, nil
+					}
+					continue // distinct constants: always true
+				}
+			}
+			body = append(body, l)
+			continue
+		}
+		var alts []ast.Literal
+		for i := range eq.L {
+			alts = append(alts, ast.Neg(ast.Eq{L: eq.L[i : i+1], R: eq.R[i : i+1]}))
+		}
+		splits = append(splits, alts)
+	}
+	r = ast.Rule{Head: r.Head, Body: body}
+	// Predicates: rename by length; drop impossible/vacuous ones.
+	head, ok := renameByLength(r.Head)
+	if !ok {
+		return nil, false, nil
+	}
+	out := ast.Rule{Head: head}
+	for _, l := range r.Body {
+		pr, isPred := l.Atom.(ast.Pred)
+		if !isPred {
+			out.Body = append(out.Body, l)
+			continue
+		}
+		np, ok := renameByLength(pr)
+		if !ok {
+			if l.Neg {
+				continue // negated impossible predicate: always true
+			}
+			return nil, false, nil
+		}
+		out.Body = append(out.Body, ast.Literal{Neg: l.Neg, Atom: np})
+	}
+	rules := []ast.Rule{out}
+	for _, alts := range splits {
+		var next []ast.Rule
+		for _, base := range rules {
+			for _, alt := range alts {
+				cp := base.Clone()
+				cp.Body = append(cp.Body, alt)
+				next = append(next, cp)
+			}
+		}
+		rules = next
+	}
+	return rules, true, nil
+}
+
+// resolveAtomicEq handles an equation between single atomic terms:
+// it returns a substitution (when a variable is bound), ok=false when
+// nothing to substitute (both constants, equal), sat=false when
+// unsatisfiable.
+func resolveAtomicEq(eq ast.Eq) (ast.Subst, bool, bool) {
+	l, r := eq.L[0], eq.R[0]
+	lv, lIsVar := l.(ast.VarT)
+	rv, rIsVar := r.(ast.VarT)
+	switch {
+	case lIsVar && rIsVar:
+		if lv.V == rv.V {
+			return nil, false, true
+		}
+		return ast.Subst{lv.V: ast.Expr{rv}}, true, true
+	case lIsVar:
+		return ast.Subst{lv.V: ast.Expr{r}}, true, true
+	case rIsVar:
+		return ast.Subst{rv.V: ast.Expr{l}}, true, true
+	default:
+		lc := l.(ast.Const)
+		rc := r.(ast.Const)
+		return nil, false, lc.A == rc.A
+	}
+}
+
+// renameByLength maps P(e) to P1(a) or P2(a1, a2) by the length of e;
+// nullary predicates keep their name; lengths 0 (for unary) and > 2
+// are impossible on two-bounded instances.
+func renameByLength(p ast.Pred) (ast.Pred, bool) {
+	if len(p.Args) == 0 {
+		return p, true
+	}
+	e := p.Args[0]
+	switch len(e) {
+	case 1:
+		return ast.Pred{Name: p.Name + "1", Args: []ast.Expr{e}}, true
+	case 2:
+		return ast.Pred{Name: p.Name + "2", Args: []ast.Expr{e[:1], e[1:]}}, true
+	default:
+		return ast.Pred{}, false
+	}
+}
+
+// TwoBounded reports whether the instance only holds paths of length
+// one or two (the premise of Lemma 5.4).
+func TwoBounded(i *instance.Instance) bool {
+	for _, n := range i.Names() {
+		for _, t := range i.Relation(n).Tuples() {
+			for _, p := range t {
+				if len(p) < 1 || len(p) > 2 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// EncodeTwoBounded builds the classical instance Ic of Lemma 5.4:
+// R1 holds the atoms a with a ∈ I(R), R2 the pairs (a, b) with
+// a·b ∈ I(R).
+func EncodeTwoBounded(i *instance.Instance) (*instance.Instance, error) {
+	out := instance.New()
+	for _, n := range i.Names() {
+		rel := i.Relation(n)
+		if rel.Arity == 0 {
+			if rel.Len() > 0 {
+				out.AddFact(n)
+			}
+			continue
+		}
+		if rel.Arity > 1 {
+			return nil, fmt.Errorf("rewrite: EncodeTwoBounded: relation %s has arity %d", n, rel.Arity)
+		}
+		out.Ensure(n+"1", 1)
+		out.Ensure(n+"2", 2)
+		for _, t := range rel.Tuples() {
+			p := t[0]
+			switch len(p) {
+			case 1:
+				out.Add(n+"1", instance.Tuple{value.Path{p[0]}})
+			case 2:
+				out.Add(n+"2", instance.Tuple{value.Path{p[0]}, value.Path{p[1]}})
+			default:
+				return nil, fmt.Errorf("rewrite: EncodeTwoBounded: path %s has length %d", p, len(p))
+			}
+		}
+	}
+	return out, nil
+}
+
+// DecodeTwoBounded inverts EncodeTwoBounded for the named relations:
+// S1(a) becomes S(a) and S2(a,b) becomes S(a·b).
+func DecodeTwoBounded(classical *instance.Instance, names ...string) *instance.Instance {
+	out := instance.New()
+	for _, n := range names {
+		if r0 := classical.Relation(n); r0 != nil && r0.Arity == 0 {
+			if r0.Len() > 0 {
+				out.AddFact(n)
+			} else {
+				out.Ensure(n, 0)
+			}
+			continue
+		}
+		out.Ensure(n, 1)
+		if r1 := classical.Relation(n + "1"); r1 != nil {
+			for _, t := range r1.Tuples() {
+				out.AddPath(n, t[0])
+			}
+		}
+		if r2 := classical.Relation(n + "2"); r2 != nil {
+			for _, t := range r2.Tuples() {
+				out.AddPath(n, value.Concat(t[0], t[1]))
+			}
+		}
+		if r0 := classical.Relation(n); r0 != nil && r0.Arity == 0 && r0.Len() > 0 {
+			out.AddFact(n)
+		}
+	}
+	return out
+}

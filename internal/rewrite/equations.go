@@ -1,0 +1,282 @@
+package rewrite
+
+import (
+	"seqlog/internal/ast"
+)
+
+// EliminatePositiveEquations removes every positive equation using the
+// auxiliary-predicate method of Example 4.4: a rule
+//
+//	H :- B, e1 = e2            (vars of e1 limited by B)
+//
+// becomes
+//
+//	T(e1, v1, ..., vk) :- B.   H :- T(e2, v1, ..., vk), Negs.
+//
+// where v1..vk are the variables limited so far. Equations are
+// processed in the limited-closure order of §2.2, so chained equations
+// work; negated equations are left untouched (see
+// EliminateNegatedEquations). The rewriting is valid with or without
+// negation and recursion, because the auxiliary rules contain only
+// positive predicates.
+func EliminatePositiveEquations(p ast.Program) (ast.Program, error) {
+	gen := ast.NewNameGen(p)
+	out := ast.Program{Strata: make([]ast.Stratum, len(p.Strata))}
+	for si, s := range p.Strata {
+		var stratum ast.Stratum
+		for _, r := range s {
+			rules, err := elimPosEqRule(r.Clone(), gen)
+			if err != nil {
+				return ast.Program{}, err
+			}
+			stratum = append(stratum, rules...)
+		}
+		out.Strata[si] = stratum
+	}
+	return out, nil
+}
+
+func elimPosEqRule(r ast.Rule, gen *ast.NameGen) ([]ast.Rule, error) {
+	posPreds, posEqs, _, _ := splitBody(r.Body)
+	if len(posEqs) == 0 {
+		return []ast.Rule{r}, nil
+	}
+	// Current positive subgoals; after each replacement this collapses
+	// to the single auxiliary subgoal, which carries all bound
+	// variables (the paper drops the original body, as in Example 4.4).
+	cur := make([]ast.Literal, 0, len(posPreds))
+	bound := map[ast.Var]bool{}
+	for _, pp := range posPreds {
+		cur = append(cur, ast.Pos(pp))
+		for _, a := range pp.Args {
+			for _, v := range a.Vars() {
+				bound[v] = true
+			}
+		}
+	}
+	var negs []ast.Literal
+	for _, l := range r.Body {
+		if l.Neg {
+			negs = append(negs, l)
+		}
+	}
+	var aux []ast.Rule
+	remaining := append([]ast.Eq{}, posEqs...)
+	for len(remaining) > 0 {
+		picked := -1
+		var ground, pattern ast.Expr
+		for i, eq := range remaining {
+			if allVarsIn(eq.L, bound) {
+				picked, ground, pattern = i, eq.L, eq.R
+				break
+			}
+			if allVarsIn(eq.R, bound) {
+				picked, ground, pattern = i, eq.R, eq.L
+				break
+			}
+		}
+		if picked < 0 {
+			return nil, errf("equations", r.String(), "positive equations cannot be ordered; rule is unsafe")
+		}
+		remaining = append(remaining[:picked], remaining[picked+1:]...)
+		// Ground on both sides: fold the equation away entirely by
+		// still creating the auxiliary predicate (keeps the rewriting
+		// uniform and correct).
+		vars := sortedVars(bound)
+		name := gen.Fresh("Eq")
+		headArgs := append([]ast.Expr{ground}, varExprs(vars)...)
+		aux = append(aux, ast.Rule{
+			Head: ast.Pred{Name: name, Args: headArgs},
+			Body: cur,
+		})
+		callArgs := append([]ast.Expr{pattern}, varExprs(vars)...)
+		cur = []ast.Literal{ast.Pos(ast.Pred{Name: name, Args: callArgs})}
+		for _, v := range pattern.Vars() {
+			bound[v] = true
+		}
+	}
+	main := ast.Rule{Head: r.Head, Body: append(cur, negs...)}
+	return append(aux, main), nil
+}
+
+func allVarsIn(e ast.Expr, set map[ast.Var]bool) bool {
+	for _, v := range e.Vars() {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// EliminateNegatedEquations removes every nonequality with the
+// stratum-splitting method of Lemma 4.5. For each stratum ∆ containing
+// nonequalities, a new stratum ∆′ is inserted right before ∆, under a
+// renaming ρ of ∆'s head relation names to fresh names:
+//
+//   - every rule H :- B of ∆ contributes ρ(H) :- ρ(B′) to ∆′, where B′
+//     is B without its nonequalities;
+//   - a rule with nonequalities e_i ≠ e'_i additionally contributes, for
+//     a fresh T and each i, the rule T(v1,...,vm) :- ρ(B′), e_i = e'_i
+//     (v1..vm the variables of B′);
+//   - in ∆ the rule's nonequalities are replaced by ¬T(v1,...,vm).
+//
+// The resulting program still uses positive equations; compose with
+// EliminatePositiveEquations to remove all equations (Theorem 4.7).
+func EliminateNegatedEquations(p ast.Program) (ast.Program, error) {
+	gen := ast.NewNameGen(p)
+	var out []ast.Stratum
+	for _, s := range p.Strata {
+		if !hasNegatedEquations(s) {
+			out = append(out, s)
+			continue
+		}
+		// Renaming of ∆'s head names to fresh names.
+		rho := map[string]string{}
+		for _, r := range s {
+			if _, ok := rho[r.Head.Name]; !ok {
+				rho[r.Head.Name] = gen.Fresh(r.Head.Name + "_pre")
+			}
+		}
+		var pre, cur ast.Stratum
+		for _, r := range s {
+			posAndNegPreds, negEqs := stripNegEqs(r)
+			// ρ(H) :- ρ(B′), for every rule.
+			pre = append(pre, renamePredsInRule(posAndNegPreds, rho))
+			if len(negEqs) == 0 {
+				cur = append(cur, r)
+				continue
+			}
+			vars := bodyVarsFirstOccurrence(posAndNegPreds.Body)
+			tName := gen.Fresh("Neq")
+			for _, eq := range negEqs {
+				tRule := renamePredsInRule(posAndNegPreds, rho)
+				tRule.Head = ast.Pred{Name: tName, Args: varExprs(vars)}
+				tRule.Body = append(tRule.Body, ast.Pos(eq))
+				pre = append(pre, tRule)
+			}
+			guarded := posAndNegPreds.Clone()
+			guarded.Body = append(guarded.Body, ast.Neg(ast.Pred{Name: tName, Args: varExprs(vars)}))
+			cur = append(cur, guarded)
+		}
+		out = append(out, pre, cur)
+	}
+	prog := ast.Program{Strata: out}
+	if err := prog.Validate(); err != nil {
+		return ast.Program{}, errf("equations", "", "negated-equation elimination produced an invalid program: %v", err)
+	}
+	return prog, nil
+}
+
+// stripNegEqs returns the rule without its nonequalities, plus the
+// stripped nonequalities.
+func stripNegEqs(r ast.Rule) (ast.Rule, []ast.Eq) {
+	out := ast.Rule{Head: r.Head}
+	var negEqs []ast.Eq
+	for _, l := range r.Body {
+		if l.Neg {
+			if eq, ok := l.Atom.(ast.Eq); ok {
+				negEqs = append(negEqs, eq)
+				continue
+			}
+		}
+		out.Body = append(out.Body, l)
+	}
+	return out.Clone(), negEqs
+}
+
+func renamePredsInRule(r ast.Rule, rho map[string]string) ast.Rule {
+	out := r.Clone()
+	if n, ok := rho[out.Head.Name]; ok {
+		out.Head.Name = n
+	}
+	for i, l := range out.Body {
+		if pr, ok := l.Atom.(ast.Pred); ok {
+			if n, renamed := rho[pr.Name]; renamed {
+				pr.Name = n
+				out.Body[i] = ast.Literal{Neg: l.Neg, Atom: pr}
+			}
+		}
+	}
+	return out
+}
+
+// EliminateEquations removes all equations, positive and negated, per
+// Theorem 4.7 (E is redundant in the presence of I): first the
+// Lemma 4.5 stratum splitting for nonequalities, then the auxiliary-
+// predicate folding for positive equations. The result uses
+// intermediate predicates and arity; compose with EliminateArity for an
+// arity-free program.
+func EliminateEquations(p ast.Program) (ast.Program, error) {
+	q, err := EliminateNegatedEquations(p)
+	if err != nil {
+		return ast.Program{}, err
+	}
+	return EliminatePositiveEquations(q)
+}
+
+// EliminateIntermediates folds away every intermediate predicate by
+// unfolding rule bodies, per Theorem 4.16 (I is redundant in the
+// presence of E and the absence of N and R). The designated output
+// relation remains; a subgoal T(e1,...,en) is replaced by each defining
+// body of T (variables freshly renamed) plus equations e_i = f_i
+// against the defining head's components.
+func EliminateIntermediates(p ast.Program, output string) (ast.Program, error) {
+	f := p.Features()
+	if f.Has(ast.FeatRecursion) {
+		return ast.Program{}, errf("intermediates", "", "program is recursive; I is primitive in the presence of R (Theorem 5.6)")
+	}
+	if f.Has(ast.FeatNegation) {
+		return ast.Program{}, errf("intermediates", "", "program uses negation; I is primitive in the presence of N (Theorem 5.5)")
+	}
+	idb := map[string]bool{}
+	for _, n := range p.IDBNames() {
+		idb[n] = true
+	}
+	if !idb[output] {
+		return ast.Program{}, errf("intermediates", "", "output relation %s is not an IDB relation", output)
+	}
+	gen := ast.NewNameGen(p)
+	defs := map[string][]ast.Rule{}
+	for _, r := range p.Rules() {
+		defs[r.Head.Name] = append(defs[r.Head.Name], r)
+	}
+	var done []ast.Rule
+	work := append([]ast.Rule{}, defs[output]...)
+	guard := 0
+	for len(work) > 0 {
+		guard++
+		if guard > 1_000_000 {
+			return ast.Program{}, errf("intermediates", "", "unfolding did not terminate (program too large or recursive)")
+		}
+		r := work[0]
+		work = work[1:]
+		// Find the first intermediate subgoal.
+		idx := -1
+		var sub ast.Pred
+		for i, l := range r.Body {
+			if pr, ok := l.Atom.(ast.Pred); ok && idb[pr.Name] {
+				idx, sub = i, pr
+				break
+			}
+		}
+		if idx < 0 {
+			done = append(done, r)
+			continue
+		}
+		rest := append(append([]ast.Literal{}, r.Body[:idx]...), r.Body[idx+1:]...)
+		for _, def := range defs[sub.Name] {
+			fresh := renameRuleVars(def, gen)
+			body := append(append([]ast.Literal{}, rest...), fresh.Body...)
+			for i := range sub.Args {
+				body = append(body, ast.Pos(ast.Eq{L: sub.Args[i], R: fresh.Head.Args[i]}))
+			}
+			work = append(work, ast.Rule{Head: r.Head, Body: body})
+		}
+		// No defining rules: the subgoal is unsatisfiable; drop the rule.
+	}
+	prog := ast.NewProgram(done...)
+	if err := prog.Validate(); err != nil {
+		return ast.Program{}, errf("intermediates", "", "folding produced an invalid program: %v", err)
+	}
+	return prog, nil
+}

@@ -1,0 +1,264 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/parser"
+)
+
+func TestEliminatePositiveEquationsExample44(t *testing.T) {
+	// Example 4.4: S($x) :- R($x), a.$x = $x.a.
+	prog := mustParse(t, `S($x) :- R($x), a.$x = $x.a.`)
+	got, err := EliminatePositiveEquations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same shape as the paper's output, modulo the fresh name:
+	//   T(a.$x, $x) :- R($x).    S($x) :- T($x.a, $x).
+	s := got.String()
+	if !strings.Contains(s, "(a.$x, $x) :- R($x).") {
+		t.Fatalf("auxiliary rule missing:\n%s", s)
+	}
+	if !strings.Contains(s, "S($x) :- ") || !strings.Contains(s, "($x.a, $x).") {
+		t.Fatalf("main rule missing:\n%s", s)
+	}
+	if got.Features().Has(ast.FeatEquations) {
+		t.Fatal("equations still present")
+	}
+	instances := randomFlatInstances(3, 15, []string{"R"}, []string{"a", "b"}, 5, 6)
+	assertEquivalent(t, prog, got, "S", instances...)
+}
+
+func TestEliminatePositiveEquationsChained(t *testing.T) {
+	// Equations that bind variables in two hops, including one that can
+	// only be ordered after another.
+	prog := mustParse(t, `S($z) :- R($x), $x = $y.a, $z = $y.`)
+	got, err := EliminatePositiveEquations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Features().Has(ast.FeatEquations) {
+		t.Fatal("equations still present")
+	}
+	instances := randomFlatInstances(5, 15, []string{"R"}, []string{"a", "b"}, 5, 5)
+	assertEquivalent(t, prog, got, "S", instances...)
+}
+
+func TestEliminatePositiveEquationsRecursive(t *testing.T) {
+	// A positive equation inside a recursive stratum; the auxiliary
+	// predicate joins the recursion without breaking stratification.
+	prog := mustParse(t, `
+T($x) :- R($x).
+T($y) :- T($x), $x = $y.a.
+S($x) :- T($x).`)
+	got, err := EliminatePositiveEquations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Features().Has(ast.FeatEquations) {
+		t.Fatal("equations still present")
+	}
+	instances := randomFlatInstances(9, 12, []string{"R"}, []string{"a", "b"}, 4, 5)
+	assertEquivalent(t, prog, got, "S", instances...)
+}
+
+func TestEliminatePositiveEquationsKeepsNegation(t *testing.T) {
+	prog := mustParse(t, `
+B($x) :- R($x.$x).
+---
+S($y) :- R($y), $y = $x.$x, !B($y).`)
+	got, err := EliminatePositiveEquations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Features().Has(ast.FeatEquations) {
+		t.Fatal("equations still present")
+	}
+	if !got.Features().Has(ast.FeatNegation) {
+		t.Fatal("negation lost")
+	}
+	instances := randomFlatInstances(21, 12, []string{"R"}, []string{"a", "b"}, 5, 4)
+	assertEquivalent(t, prog, got, "S", instances...)
+}
+
+func TestEliminateNegatedEquationsExample46(t *testing.T) {
+	// Example 4.6's program and the structure of its rewriting.
+	prog := mustParse(t, `
+U($x, $x) :- R($x).
+U($x, $y) :- U($x, @a.$y.@b), @a != @b.
+S($x) :- U($x, eps).`)
+	got, err := EliminateNegatedEquations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's output has 7 rules in 2 strata: U1 (x2), T, S1 in the
+	// pre-stratum; U (x2), S in the main stratum.
+	if len(got.Strata) != 2 {
+		t.Fatalf("strata = %d, want 2:\n%s", len(got.Strata), got)
+	}
+	if len(got.Strata[0]) != 4 || len(got.Strata[1]) != 3 {
+		t.Fatalf("rule counts = %d/%d, want 4/3:\n%s", len(got.Strata[0]), len(got.Strata[1]), got)
+	}
+	s := got.String()
+	if !strings.Contains(s, "@a = @b") {
+		t.Fatalf("violation rule missing:\n%s", s)
+	}
+	if strings.Contains(s, "!=") {
+		t.Fatalf("nonequality still present:\n%s", s)
+	}
+	// Equivalence: S collects a1..an.bn..b1 with ai != bi.
+	instances := randomFlatInstances(31, 15, []string{"R"}, []string{"a", "b", "c"}, 5, 6)
+	assertEquivalent(t, prog, got, "S", instances...)
+}
+
+func TestEliminateNegatedEquationsMultiple(t *testing.T) {
+	// Multiple nonequalities in one rule (as in Example 2.2's second
+	// rule, flattened to avoid packing here).
+	prog := mustParse(t, `
+T($u) :- R($x.$u.$y).
+A($u.$v) :- T($u), T($v), $u != $v, $u != eps, $v != eps.`)
+	got, err := EliminateNegatedEquations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(got.String(), "!=") {
+		t.Fatal("nonequality still present")
+	}
+	instances := randomFlatInstances(37, 12, []string{"R"}, []string{"a", "b"}, 4, 4)
+	assertEquivalent(t, prog, got, "A", instances...)
+}
+
+func TestEliminateEquationsFull(t *testing.T) {
+	// Theorem 4.7: composing both eliminations removes E entirely.
+	prog := mustParse(t, `
+U($x, $x) :- R($x).
+U($x, $y) :- U($x, @a.$y.@b), @a != @b.
+S($x) :- U($x, eps).`)
+	got, err := EliminateEquations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Features().Has(ast.FeatEquations) {
+		t.Fatalf("E still present: %s\n%s", got.Features(), got)
+	}
+	instances := randomFlatInstances(41, 12, []string{"R"}, []string{"a", "b", "c"}, 4, 6)
+	assertEquivalent(t, prog, got, "S", instances...)
+
+	// And stacking arity elimination gives an {I,...}-only program.
+	noArity, err := EliminateArity(got, DefaultArityMarkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := noArity.Features()
+	if f.Has(ast.FeatEquations) || f.Has(ast.FeatArity) {
+		t.Fatalf("features = %s", f)
+	}
+	assertEquivalent(t, prog, noArity, "S", instances...)
+}
+
+func TestEliminateNegatedEquationsNoopWithout(t *testing.T) {
+	prog := mustParse(t, `S($x) :- R($x), a.$x = $x.a.`)
+	got, err := EliminateNegatedEquations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != prog.String() {
+		t.Fatalf("program changed without nonequalities:\n%s", got)
+	}
+}
+
+func TestEliminateIntermediatesFolding(t *testing.T) {
+	// Theorem 4.16: nonrecursive, negation-free program folds to a
+	// single IDB relation using equations.
+	prog := mustParse(t, `
+T(a.$x, $x) :- R($x).
+S($x) :- T($x.a, $x).`)
+	got, err := EliminateIntermediates(prog, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Features().Has(ast.FeatIntermediates) {
+		t.Fatalf("I still present:\n%s", got)
+	}
+	names := got.IDBNames()
+	if len(names) != 1 || names[0] != "S" {
+		t.Fatalf("IDB names = %v", names)
+	}
+	instances := randomFlatInstances(43, 15, []string{"R"}, []string{"a", "b"}, 5, 6)
+	assertEquivalent(t, prog, got, "S", instances...)
+}
+
+func TestEliminateIntermediatesDeepChain(t *testing.T) {
+	prog := mustParse(t, `
+T1($x.$x) :- R($x).
+T2($y.b) :- T1($y).
+T3($z) :- T2($z.b), Q($z)
+.
+S($w.c) :- T3($w).`)
+	got, err := EliminateIntermediates(prog, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDBNames()) != 1 {
+		t.Fatalf("IDB names = %v", got.IDBNames())
+	}
+	instances := randomFlatInstances(47, 12, []string{"R", "Q"}, []string{"a", "b"}, 4, 4)
+	assertEquivalent(t, prog, got, "S", instances...)
+}
+
+func TestEliminateIntermediatesMultipleDefsAndCalls(t *testing.T) {
+	// Two defining rules for T and two T-subgoals in one body: the
+	// unfolding is a cartesian product.
+	prog := mustParse(t, `
+T(a.$x) :- R($x).
+T(b.$x) :- Q($x).
+S($x.$y) :- T($x), T($y).`)
+	got, err := EliminateIntermediates(prog, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(got.Rules()); n != 4 {
+		t.Fatalf("rules = %d, want 4:\n%s", n, got)
+	}
+	instances := randomFlatInstances(53, 12, []string{"R", "Q"}, []string{"a", "b"}, 3, 3)
+	assertEquivalent(t, prog, got, "S", instances...)
+}
+
+func TestEliminateIntermediatesRejections(t *testing.T) {
+	rec := mustParse(t, `
+T($x) :- R($x).
+T($x.a) :- T($x).
+S($x) :- T($x).`)
+	if _, err := EliminateIntermediates(rec, "S"); err == nil {
+		t.Fatal("recursive program must be rejected (Theorem 5.6)")
+	}
+	neg := mustParse(t, `
+T($x) :- R($x).
+---
+S($x) :- R($x), !T($x.a).`)
+	if _, err := EliminateIntermediates(neg, "S"); err == nil {
+		t.Fatal("negation must be rejected (Theorem 5.5)")
+	}
+	if _, err := EliminateIntermediates(mustParse(t, `S($x) :- R($x).`), "Z"); err == nil {
+		t.Fatal("unknown output must be rejected")
+	}
+}
+
+func TestEliminateIntermediatesUndefinedSubgoal(t *testing.T) {
+	// T2 never defined: rules calling it fold to nothing.
+	prog := parser.MustParseProgram(`
+T(a) :- R($x).
+S($x) :- R($x), T(a).
+S(b.$x) :- R($x), T2($x).`)
+	// T2 is EDB here by definition (no head), so this needs care: make
+	// T2 an IDB with zero rules by... it cannot be. Instead verify the
+	// equivalence when T has a defining rule but yields no facts.
+	got, err := EliminateIntermediates(prog, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := randomFlatInstances(59, 8, []string{"R", "T2"}, []string{"a", "b"}, 3, 3)
+	assertEquivalent(t, prog, got, "S", instances...)
+}

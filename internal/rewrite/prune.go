@@ -1,0 +1,47 @@
+package rewrite
+
+import "seqlog/internal/ast"
+
+// PruneUnreachable removes rules whose head relation is not needed,
+// directly or transitively (through positive or negated body
+// predicates), to compute the output relation. Rewritings can leave
+// auxiliary relations behind (e.g. packing-structure relations no rule
+// references); pruning keeps programs in the smallest fragment they
+// actually need.
+func PruneUnreachable(p ast.Program, output string) ast.Program {
+	defines := map[string]bool{}
+	for _, r := range p.Rules() {
+		defines[r.Head.Name] = true
+	}
+	needed := map[string]bool{output: true}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules() {
+			if !needed[r.Head.Name] {
+				continue
+			}
+			for _, l := range r.Body {
+				if pr, ok := l.Atom.(ast.Pred); ok && defines[pr.Name] && !needed[pr.Name] {
+					needed[pr.Name] = true
+					changed = true
+				}
+			}
+		}
+	}
+	var strata []ast.Stratum
+	for _, s := range p.Strata {
+		var keep ast.Stratum
+		for _, r := range s {
+			if needed[r.Head.Name] {
+				keep = append(keep, r.Clone())
+			}
+		}
+		if len(keep) > 0 {
+			strata = append(strata, keep)
+		}
+	}
+	if len(strata) == 0 {
+		strata = []ast.Stratum{{}}
+	}
+	return ast.Program{Strata: strata}
+}

@@ -1,0 +1,143 @@
+// Package rewrite implements the paper's redundancy theorems as program
+// transformations:
+//
+//   - EliminateArity        — Theorem 4.2 via the Lemma 4.1 encoding
+//   - EliminatePositiveEquations — the Example 4.4 auxiliary-predicate trick
+//   - EliminateNegatedEquations  — Lemma 4.5's stratum-splitting method
+//   - EliminateEquations    — Theorem 4.7 (composition of the above)
+//   - EliminateIntermediates — Theorem 4.16 folding (needs E, no N/R)
+//   - EliminatePackingNonrecursive — Lemmas 4.10–4.13
+//   - SimulatePackingDoubled — Theorem 4.15's doubling construction
+//   - EliminatePacking      — dispatcher for the two packing cases
+//   - ToClassical           — Lemma 5.4 on two-bounded instances
+//
+// Each transformation preserves the computed query (for the designated
+// output relation) on flat instances; the test suite verifies this by
+// evaluating source and target programs on randomized instances.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"seqlog/internal/ast"
+)
+
+// varExprs renders variables as single-term expressions, for use as
+// predicate arguments.
+func varExprs(vars []ast.Var) []ast.Expr {
+	out := make([]ast.Expr, len(vars))
+	for i, v := range vars {
+		out[i] = ast.Expr{ast.VarT{V: v}}
+	}
+	return out
+}
+
+// sortedVars returns the variables of the set in deterministic order
+// (atomic variables first, then by name).
+func sortedVars(set map[ast.Var]bool) []ast.Var {
+	out := make([]ast.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Atomic != out[j].Atomic {
+			return out[i].Atomic
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// bodyVarsFirstOccurrence returns the variables of the body literals in
+// first-occurrence order (the "v1, ..., vm" of Lemma 4.5).
+func bodyVarsFirstOccurrence(body []ast.Literal) []ast.Var {
+	seen := map[ast.Var]bool{}
+	var out []ast.Var
+	add := func(e ast.Expr) {
+		for _, v := range e.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	for _, l := range body {
+		switch x := l.Atom.(type) {
+		case ast.Pred:
+			for _, a := range x.Args {
+				add(a)
+			}
+		case ast.Eq:
+			add(x.L)
+			add(x.R)
+		}
+	}
+	return out
+}
+
+// renameRuleVars renames every variable in the rule with fresh names,
+// avoiding capture when rule bodies are inlined (Theorem 4.16).
+func renameRuleVars(r ast.Rule, g *ast.NameGen) ast.Rule {
+	sub := ast.Subst{}
+	for _, v := range r.Vars() {
+		nv := g.FreshVar(v.Name+"_", v.Atomic)
+		sub[v] = ast.Expr{ast.VarT{V: nv}}
+	}
+	return r.ApplySubst(sub)
+}
+
+// splitBody partitions a body into positive predicates, positive
+// equations, negated predicates and negated equations.
+func splitBody(body []ast.Literal) (posPreds []ast.Pred, posEqs []ast.Eq, negPreds []ast.Pred, negEqs []ast.Eq) {
+	for _, l := range body {
+		switch x := l.Atom.(type) {
+		case ast.Pred:
+			if l.Neg {
+				negPreds = append(negPreds, x)
+			} else {
+				posPreds = append(posPreds, x)
+			}
+		case ast.Eq:
+			if l.Neg {
+				negEqs = append(negEqs, x)
+			} else {
+				posEqs = append(posEqs, x)
+			}
+		}
+	}
+	return
+}
+
+// hasNegatedEquations reports whether any rule of the stratum contains
+// a nonequality.
+func hasNegatedEquations(s ast.Stratum) bool {
+	for _, r := range s {
+		for _, l := range r.Body {
+			if l.Neg {
+				if _, ok := l.Atom.(ast.Eq); ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Error wraps transformation failures with the offending rule.
+type Error struct {
+	Op   string
+	Rule string
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Rule == "" {
+		return fmt.Sprintf("rewrite/%s: %s", e.Op, e.Msg)
+	}
+	return fmt.Sprintf("rewrite/%s: %s (rule: %s)", e.Op, e.Msg, e.Rule)
+}
+
+func errf(op string, rule string, format string, args ...any) *Error {
+	return &Error{Op: op, Rule: rule, Msg: fmt.Sprintf(format, args...)}
+}

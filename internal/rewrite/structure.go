@@ -1,0 +1,133 @@
+package rewrite
+
+import (
+	"strings"
+
+	"seqlog/internal/ast"
+)
+
+// Structure is a packing structure δ(e) (paper §4.3.4): an alternation
+// of stars and packed sub-structures, beginning and ending with a star,
+// with no two adjacent stars.
+type Structure []SItem
+
+// SItem is one item of a packing structure.
+type SItem interface{ isSItem() }
+
+// SStar is the ∗ placeholder for a packing-free component.
+type SStar struct{}
+
+// SPack is a packed sub-structure ⟨δ⟩.
+type SPack struct{ Inner Structure }
+
+func (SStar) isSItem() {}
+func (SPack) isSItem() {}
+
+// FlatStructure is δ(e) for packing-free e: a single star.
+var FlatStructure = Structure{SStar{}}
+
+// StructureOf computes δ(e): δ(ε) = ∗, δ(a) = ∗ for atoms and
+// variables, δ(⟨e⟩) = ∗·⟨δ(e)⟩·∗, δ(e1·e2) = δ(e1)·δ(e2) with
+// consecutive stars merged.
+func StructureOf(e ast.Expr) Structure {
+	s := Structure{SStar{}}
+	for _, t := range e {
+		if p, ok := t.(ast.Pack); ok {
+			s = append(s, SPack{Inner: StructureOf(p.E)}, SStar{})
+		}
+		// Constants and variables merge into the current star.
+	}
+	return s
+}
+
+// Stars counts the stars (= number of components).
+func (s Structure) Stars() int {
+	n := 0
+	for _, it := range s {
+		switch x := it.(type) {
+		case SStar:
+			n++
+		case SPack:
+			n += x.Inner.Stars()
+		}
+	}
+	return n
+}
+
+// IsFlat reports whether the structure is the single star.
+func (s Structure) IsFlat() bool {
+	return len(s) == 1
+}
+
+// Key renders the structure canonically, e.g. "*<*<*>*>*<*>*"
+// (Example 4.11's δ).
+func (s Structure) Key() string {
+	var b strings.Builder
+	s.appendKey(&b)
+	return b.String()
+}
+
+func (s Structure) appendKey(b *strings.Builder) {
+	for _, it := range s {
+		switch x := it.(type) {
+		case SStar:
+			b.WriteByte('*')
+		case SPack:
+			b.WriteByte('<')
+			x.Inner.appendKey(b)
+			b.WriteByte('>')
+		}
+	}
+}
+
+// Equal reports structural equality.
+func (s Structure) Equal(t Structure) bool { return s.Key() == t.Key() }
+
+// Components splits e into the packing-free components substituted for
+// the stars of δ(e), in star order (Example 4.11).
+func Components(e ast.Expr) []ast.Expr {
+	var comps []ast.Expr
+	componentsInto(e, &comps)
+	return comps
+}
+
+func componentsInto(e ast.Expr, comps *[]ast.Expr) {
+	cur := ast.Expr{}
+	for _, t := range e {
+		if p, ok := t.(ast.Pack); ok {
+			*comps = append(*comps, cur)
+			componentsInto(p.E, comps)
+			cur = ast.Expr{}
+		} else {
+			cur = append(cur, t)
+		}
+	}
+	*comps = append(*comps, cur)
+}
+
+// Reconstruct rebuilds the expression with the given structure whose
+// components are the given expressions; it is the inverse of
+// (StructureOf, Components). The number of components must equal
+// s.Stars().
+func (s Structure) Reconstruct(comps []ast.Expr) ast.Expr {
+	pos := 0
+	e := s.reconstruct(comps, &pos)
+	if pos != len(comps) {
+		panic("rewrite: Reconstruct: component count mismatch")
+	}
+	return e
+}
+
+func (s Structure) reconstruct(comps []ast.Expr, pos *int) ast.Expr {
+	var e ast.Expr
+	for _, it := range s {
+		switch x := it.(type) {
+		case SStar:
+			e = ast.Cat(e, comps[*pos])
+			*pos++
+		case SPack:
+			e = ast.Cat(e, ast.Packed(x.Inner.reconstruct(comps, pos)))
+		}
+	}
+	return e
+}

@@ -1,0 +1,40 @@
+package unify
+
+import (
+	"testing"
+
+	"seqlog/internal/ast"
+)
+
+func BenchmarkFigure2Equation(b *testing.B) {
+	eq := Equation{
+		L: ast.Cat(ast.P("x"), ast.Packed(ast.Cat(ast.A("y"), ast.P("z"))), ast.A("w")),
+		R: ast.Cat(ast.P("u"), ast.P("v"), ast.P("u")),
+	}
+	for i := 0; i < b.N; i++ {
+		if res := Solve(eq, Options{}); len(res.Solutions) != 4 {
+			b.Fatal("wrong solution count")
+		}
+	}
+}
+
+func BenchmarkEmptyClosure(b *testing.B) {
+	eq := Equation{
+		L: ast.Cat(ast.P("x"), ast.C("a"), ast.P("y")),
+		R: ast.Cat(ast.P("u"), ast.P("v")),
+	}
+	for i := 0; i < b.N; i++ {
+		Solve(eq, Options{AllowEmpty: true})
+	}
+}
+
+func BenchmarkGroundEquation(b *testing.B) {
+	l := ast.Expr{}
+	for i := 0; i < 32; i++ {
+		l = ast.Cat(l, ast.C("a"))
+	}
+	eq := Equation{L: ast.Cat(ast.P("x"), ast.P("y")), R: l}
+	for i := 0; i < b.N; i++ {
+		Solve(eq, Options{})
+	}
+}

@@ -1,0 +1,295 @@
+// Package value defines the data model of sequence databases from
+// Section 2.1 of "Expressiveness within Sequence Datalog" (PODS 2021):
+// atomic values, packed values, and paths (finite sequences of values).
+//
+// Values are immutable by convention: no function in this module mutates
+// a Path it did not create, and callers must not mutate paths after
+// handing them to the engine.
+package value
+
+import (
+	"sort"
+	"strings"
+)
+
+// Value is an element of a path: either an Atom or a Packed value.
+//
+// The data model (paper §2.1) is the smallest set such that every atomic
+// value is a value, every finite sequence of values is a path, and <p> is
+// a (packed) value for every path p.
+type Value interface {
+	// Kind reports whether the value is atomic or packed.
+	Kind() Kind
+	// String renders the value in the paper's notation (packing as <...>).
+	String() string
+	// appendKey appends the canonical injective encoding used for
+	// hashing and ordering.
+	appendKey(b *strings.Builder)
+}
+
+// Kind discriminates the two sorts of values.
+type Kind int
+
+const (
+	// KindAtom marks an atomic value from the universe dom.
+	KindAtom Kind = iota
+	// KindPacked marks a packed value <p>.
+	KindPacked
+)
+
+// Atom is an atomic data element from the countably infinite universe dom.
+type Atom string
+
+// Kind implements Value.
+func (Atom) Kind() Kind { return KindAtom }
+
+// String implements Value.
+func (a Atom) String() string { return renderAtom(string(a)) }
+
+// Packed is a packed value <p>: a path temporarily treated as atomic
+// (the P feature of the paper).
+type Packed struct {
+	P Path
+}
+
+// Kind implements Value.
+func (Packed) Kind() Kind { return KindPacked }
+
+// String implements Value.
+func (p Packed) String() string { return "<" + p.P.String() + ">" }
+
+// Pack wraps a path into a packed value.
+func Pack(p Path) Packed { return Packed{P: p} }
+
+// Path is a finite sequence of values. The empty path is the paper's ε.
+type Path []Value
+
+// Epsilon is the empty path ε.
+var Epsilon = Path{}
+
+// PathOf builds a flat path from atom texts.
+func PathOf(atoms ...string) Path {
+	p := make(Path, len(atoms))
+	for i, a := range atoms {
+		p[i] = Atom(a)
+	}
+	return p
+}
+
+// Singleton returns the one-element path holding v. The paper identifies
+// a value v with the length-one sequence v.
+func Singleton(v Value) Path { return Path{v} }
+
+// Concat concatenates paths into a fresh path.
+func Concat(paths ...Path) Path {
+	n := 0
+	for _, p := range paths {
+		n += len(p)
+	}
+	out := make(Path, 0, n)
+	for _, p := range paths {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// String renders the path in the paper's dotted notation; ε for empty.
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "eps"
+	}
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ".")
+}
+
+// renderAtom quotes an atom when it would not lex as a bare identifier.
+func renderAtom(s string) string {
+	if s == "" {
+		return "''"
+	}
+	plain := true
+	for _, r := range s {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_') {
+			plain = false
+			break
+		}
+	}
+	if plain && s != "eps" {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", "\\'") + "'"
+}
+
+// Key returns a canonical injective encoding of the path, suitable as a
+// map key. Distinct paths always have distinct keys.
+func (p Path) Key() string {
+	var b strings.Builder
+	p.appendKey(&b)
+	return b.String()
+}
+
+func (p Path) appendKey(b *strings.Builder) {
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		v.appendKey(b)
+	}
+}
+
+func (a Atom) appendKey(b *strings.Builder) {
+	// Escape the structural bytes so the encoding stays injective even
+	// when atoms contain '.', '<', '>' or '\'.
+	for i := 0; i < len(a); i++ {
+		switch c := a[i]; c {
+		case '.', '<', '>', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	// A trailing '$' distinguishes the empty atom from the empty path
+	// and an atom "x" from sub-encodings; every atom is terminated.
+	b.WriteByte('$')
+}
+
+func (p Packed) appendKey(b *strings.Builder) {
+	b.WriteByte('<')
+	p.P.appendKey(b)
+	b.WriteByte('>')
+}
+
+// Equal reports whether two values are the same value.
+func Equal(v, w Value) bool {
+	switch x := v.(type) {
+	case Atom:
+		y, ok := w.(Atom)
+		return ok && x == y
+	case Packed:
+		y, ok := w.(Packed)
+		return ok && x.P.Equal(y.P)
+	}
+	return false
+}
+
+// Equal reports whether two paths are the same sequence of values.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if !Equal(p[i], q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare totally orders values: atoms before packed values; atoms by
+// string order; packed values by their paths.
+func Compare(v, w Value) int {
+	switch x := v.(type) {
+	case Atom:
+		if y, ok := w.(Atom); ok {
+			return strings.Compare(string(x), string(y))
+		}
+		return -1
+	case Packed:
+		if y, ok := w.(Packed); ok {
+			return x.P.Compare(y.P)
+		}
+		return 1
+	}
+	return 0
+}
+
+// Compare totally orders paths element-wise with shorter prefixes first.
+func (p Path) Compare(q Path) int {
+	n := len(p)
+	if len(q) < n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(p[i], q[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(p) < len(q):
+		return -1
+	case len(p) > len(q):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsFlat reports whether the path contains no packed values at any depth.
+// Flat instances (paper §3.1) contain only flat paths.
+func (p Path) IsFlat() bool {
+	for _, v := range p {
+		if v.Kind() == KindPacked {
+			return false
+		}
+	}
+	return true
+}
+
+// PackingDepth returns the maximum packing nesting depth in the path
+// (0 for flat paths).
+func (p Path) PackingDepth() int {
+	d := 0
+	for _, v := range p {
+		if pk, ok := v.(Packed); ok {
+			if dd := pk.P.PackingDepth() + 1; dd > d {
+				d = dd
+			}
+		}
+	}
+	return d
+}
+
+// Clone returns a copy of the path sharing its (immutable) values.
+func (p Path) Clone() Path {
+	out := make(Path, len(p))
+	copy(out, p)
+	return out
+}
+
+// Atoms collects the distinct atomic values occurring anywhere in the
+// path (including inside packed values), in sorted order.
+func (p Path) Atoms() []Atom {
+	set := map[Atom]struct{}{}
+	p.collectAtoms(set)
+	out := make([]Atom, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (p Path) collectAtoms(set map[Atom]struct{}) {
+	for _, v := range p {
+		switch x := v.(type) {
+		case Atom:
+			set[x] = struct{}{}
+		case Packed:
+			x.P.collectAtoms(set)
+		}
+	}
+}
+
+// Repeat returns the path consisting of n copies of atom a (the a^n
+// strings used throughout Section 5).
+func Repeat(a string, n int) Path {
+	p := make(Path, n)
+	for i := range p {
+		p[i] = Atom(a)
+	}
+	return p
+}

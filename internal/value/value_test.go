@@ -1,0 +1,222 @@
+package value
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathOfAndString(t *testing.T) {
+	p := PathOf("a", "b", "a")
+	if got := p.String(); got != "a.b.a" {
+		t.Fatalf("String = %q, want a.b.a", got)
+	}
+	if Epsilon.String() != "eps" {
+		t.Fatalf("empty path renders %q", Epsilon.String())
+	}
+}
+
+func TestPackedString(t *testing.T) {
+	// c·<a·b·a> from the paper's §2.1 example.
+	p := Path{Atom("c"), Pack(PathOf("a", "b", "a"))}
+	if got := p.String(); got != "c.<a.b.a>" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		p, q Path
+		want bool
+	}{
+		{PathOf("a", "b"), PathOf("a", "b"), true},
+		{PathOf("a", "b"), PathOf("a"), false},
+		{PathOf("a"), Path{Pack(PathOf("a"))}, false},
+		{Path{Pack(PathOf("a"))}, Path{Pack(PathOf("a"))}, true},
+		{Epsilon, Path{}, true},
+		{Path{Pack(Epsilon)}, Path{Pack(Epsilon)}, true},
+		{Path{Pack(Epsilon)}, Epsilon, false},
+	}
+	for i, c := range cases {
+		if got := c.p.Equal(c.q); got != c.want {
+			t.Errorf("case %d: Equal(%v,%v) = %v, want %v", i, c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	// Paths crafted to collide under naive encodings.
+	paths := []Path{
+		PathOf("a", "b"),
+		PathOf("a.b"),
+		PathOf("ab"),
+		PathOf("a", "", "b"),
+		PathOf("a", "b", ""),
+		PathOf(""),
+		Epsilon,
+		Path{Pack(PathOf("a", "b"))},
+		Path{Pack(PathOf("a")), Atom("b")},
+		Path{Atom("a"), Pack(PathOf("b"))},
+		Path{Pack(Epsilon)},
+		Path{Pack(Path{Pack(Epsilon)})},
+		PathOf("<a>"),
+		PathOf("a\\", "b"),
+		PathOf("a\\.b"),
+	}
+	seen := map[string]Path{}
+	for _, p := range paths {
+		k := p.Key()
+		if q, dup := seen[k]; dup && !p.Equal(q) {
+			t.Fatalf("key collision: %v and %v both have key %q", p, q, k)
+		}
+		seen[k] = p
+	}
+}
+
+func randomPath(r *rand.Rand, depth int) Path {
+	n := r.Intn(4)
+	p := make(Path, 0, n)
+	alphabet := []string{"a", "b", "c", ".", "<", ">", "\\", ""}
+	for i := 0; i < n; i++ {
+		if depth > 0 && r.Intn(4) == 0 {
+			p = append(p, Pack(randomPath(r, depth-1)))
+		} else {
+			p = append(p, Atom(alphabet[r.Intn(len(alphabet))]))
+		}
+	}
+	return p
+}
+
+func TestKeyInjectiveQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	seen := map[string]Path{}
+	for i := 0; i < 20000; i++ {
+		p := randomPath(r, 2)
+		k := p.Key()
+		if q, dup := seen[k]; dup && !p.Equal(q) {
+			t.Fatalf("key collision: %v vs %v (key %q)", p, q, k)
+		}
+		seen[k] = p
+	}
+}
+
+func TestKeyEqualAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		p, q := randomPath(r, 2), randomPath(r, 2)
+		if (p.Key() == q.Key()) != p.Equal(q) {
+			t.Fatalf("Key/Equal disagree on %v vs %v", p, q)
+		}
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var paths []Path
+	for i := 0; i < 200; i++ {
+		paths = append(paths, randomPath(r, 2))
+	}
+	// Reflexive-antisymmetric-ish checks.
+	for i := 0; i < 300; i++ {
+		p, q := paths[r.Intn(len(paths))], paths[r.Intn(len(paths))]
+		cpq, cqp := p.Compare(q), q.Compare(p)
+		if cpq != -cqp {
+			t.Fatalf("Compare not antisymmetric: %v vs %v -> %d, %d", p, q, cpq, cqp)
+		}
+		if (cpq == 0) != p.Equal(q) {
+			t.Fatalf("Compare==0 iff Equal violated: %v vs %v", p, q)
+		}
+	}
+	// Transitivity via sort: sorting must not panic and must be stable
+	// under re-sorting.
+	sort.Slice(paths, func(i, j int) bool { return paths[i].Compare(paths[j]) < 0 })
+	for i := 1; i < len(paths); i++ {
+		if paths[i-1].Compare(paths[i]) > 0 {
+			t.Fatalf("sorted order violated at %d", i)
+		}
+	}
+}
+
+func TestIsFlat(t *testing.T) {
+	if !PathOf("a", "b").IsFlat() {
+		t.Error("flat path reported as not flat")
+	}
+	if (Path{Atom("a"), Pack(PathOf("b"))}).IsFlat() {
+		t.Error("packed path reported flat")
+	}
+	if !Epsilon.IsFlat() {
+		t.Error("epsilon must be flat")
+	}
+}
+
+func TestPackingDepth(t *testing.T) {
+	if d := PathOf("a").PackingDepth(); d != 0 {
+		t.Errorf("depth = %d, want 0", d)
+	}
+	p := Path{Pack(Path{Pack(PathOf("a"))})}
+	if d := p.PackingDepth(); d != 2 {
+		t.Errorf("depth = %d, want 2", d)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	p := Concat(PathOf("a"), Epsilon, PathOf("b", "c"))
+	if !p.Equal(PathOf("a", "b", "c")) {
+		t.Fatalf("Concat = %v", p)
+	}
+	// Concat must not alias inputs.
+	q := PathOf("x")
+	c := Concat(q)
+	c[0] = Atom("y")
+	if q[0] != Atom("x") {
+		t.Fatal("Concat aliased its input")
+	}
+}
+
+func TestAtoms(t *testing.T) {
+	p := Path{Atom("b"), Pack(Path{Atom("a"), Pack(PathOf("c"))}), Atom("a")}
+	got := p.Atoms()
+	want := []Atom{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Atoms = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Atoms = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	if !Repeat("a", 3).Equal(PathOf("a", "a", "a")) {
+		t.Fatal("Repeat broken")
+	}
+	if !Repeat("a", 0).Equal(Epsilon) {
+		t.Fatal("Repeat(0) should be epsilon")
+	}
+}
+
+func TestQuickKeyRoundtripLength(t *testing.T) {
+	// Property: appending a value changes the key.
+	f := func(s string, n uint8) bool {
+		p := Repeat("a", int(n%8))
+		q := Concat(p, Path{Atom(s)})
+		return p.Key() != q.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingletonAndClone(t *testing.T) {
+	p := Singleton(Atom("v"))
+	if len(p) != 1 || p[0] != Atom("v") {
+		t.Fatal("Singleton broken")
+	}
+	c := p.Clone()
+	c[0] = Atom("w")
+	if p[0] != Atom("v") {
+		t.Fatal("Clone aliases")
+	}
+}

@@ -1,0 +1,218 @@
+// Package workload generates deterministic pseudo-random instances for
+// the paper's application domains (§1): plain string collections,
+// NFAs, graphs encoded as length-2 paths, event logs for process
+// mining, and JSON-style item–year–value triples.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqlog/internal/instance"
+	"seqlog/internal/value"
+)
+
+// Alphabet returns the first n lowercase letters (wrapping with
+// numbered suffixes beyond 26).
+func Alphabet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		if i < 26 {
+			out[i] = string(rune('a' + i))
+		} else {
+			out[i] = fmt.Sprintf("s%d", i)
+		}
+	}
+	return out
+}
+
+// Strings fills relation rel with count random flat strings of the
+// given length over the alphabet.
+func Strings(seed int64, rel string, count, length int, alphabet []string) *instance.Instance {
+	r := rand.New(rand.NewSource(seed))
+	inst := instance.New()
+	inst.Ensure(rel, 1)
+	for i := 0; i < count; i++ {
+		p := make(value.Path, length)
+		for k := range p {
+			p[k] = value.Atom(alphabet[r.Intn(len(alphabet))])
+		}
+		inst.AddPath(rel, p)
+	}
+	return inst
+}
+
+// OnlyAs builds an instance for the only-a's query: count paths of the
+// given length, half of them all-a's, half with one b planted.
+func OnlyAs(seed int64, rel string, count, length int) *instance.Instance {
+	r := rand.New(rand.NewSource(seed))
+	inst := instance.New()
+	inst.Ensure(rel, 1)
+	for i := 0; i < count; i++ {
+		p := make(value.Path, length)
+		for k := range p {
+			p[k] = value.Atom("a")
+		}
+		if i%2 == 1 && length > 0 {
+			p[r.Intn(length)] = value.Atom("b")
+		}
+		inst.AddPath(rel, p)
+	}
+	return inst
+}
+
+// NFA builds the Example 2.1 EDB for the "even number of b's" NFA over
+// {a, b} plus count random input strings of the given length.
+func NFA(seed int64, count, length int) *instance.Instance {
+	inst := Strings(seed, "R", count, length, []string{"a", "b"})
+	inst.AddPath("N", value.PathOf("q0"))
+	inst.AddPath("F", value.PathOf("q0"))
+	add := func(q1, a, q2 string) {
+		inst.Add("D", instance.Tuple{value.PathOf(q1), value.PathOf(a), value.PathOf(q2)})
+	}
+	add("q0", "a", "q0")
+	add("q0", "b", "q1")
+	add("q1", "a", "q1")
+	add("q1", "b", "q0")
+	return inst
+}
+
+// Graph builds a random directed graph on n nodes with the given edge
+// count, encoded as length-2 paths in relation R (the §5.1.1
+// encoding), always including nodes "a" and "b".
+func Graph(seed int64, n, edges int) *instance.Instance {
+	r := rand.New(rand.NewSource(seed))
+	nodes := make([]string, n)
+	for i := range nodes {
+		switch i {
+		case 0:
+			nodes[i] = "a"
+		case 1:
+			nodes[i] = "b"
+		default:
+			nodes[i] = fmt.Sprintf("n%d", i)
+		}
+	}
+	inst := instance.New()
+	inst.Ensure("R", 1)
+	for i := 0; i < edges; i++ {
+		from := nodes[r.Intn(n)]
+		to := nodes[r.Intn(n)]
+		inst.AddPath("R", value.PathOf(from, to))
+	}
+	return inst
+}
+
+// Chain builds the path graph 0 -> 1 -> ... -> n as length-2 paths,
+// with endpoints named a and b, so b is reachable from a in n steps.
+func Chain(n int) *instance.Instance {
+	inst := instance.New()
+	inst.Ensure("R", 1)
+	name := func(i int) string {
+		switch i {
+		case 0:
+			return "a"
+		case n:
+			return "b"
+		default:
+			return fmt.Sprintf("n%d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		inst.AddPath("R", value.PathOf(name(i), name(i+1)))
+	}
+	return inst
+}
+
+// EventLogs builds count logs of the given length over a small event
+// vocabulary for the process-mining query; roughly half the logs
+// satisfy "every 'complete order' is followed by 'receive payment'".
+func EventLogs(seed int64, rel string, count, length int) *instance.Instance {
+	r := rand.New(rand.NewSource(seed))
+	events := []string{"create order", "complete order", "receive payment", "ship", "close"}
+	inst := instance.New()
+	inst.Ensure(rel, 1)
+	for i := 0; i < count; i++ {
+		p := make(value.Path, length)
+		for k := range p {
+			p[k] = value.Atom(events[r.Intn(len(events))])
+		}
+		if i%2 == 0 && length > 0 {
+			// Make the log compliant: append a receive payment.
+			p[length-1] = value.Atom("receive payment")
+		}
+		inst.AddPath(rel, p)
+	}
+	return inst
+}
+
+// Sales builds item–year–value triples as length-3 paths, the
+// introduction's JSON example.
+func Sales(seed int64, items, years int) *instance.Instance {
+	r := rand.New(rand.NewSource(seed))
+	inst := instance.New()
+	inst.Ensure("Sales", 1)
+	for i := 0; i < items; i++ {
+		for y := 0; y < years; y++ {
+			inst.AddPath("Sales", value.PathOf(
+				fmt.Sprintf("item%d", i),
+				fmt.Sprintf("year%d", 2020+y),
+				fmt.Sprintf("%d", r.Intn(1000)),
+			))
+		}
+	}
+	return inst
+}
+
+// Repeated builds the singleton instance {rel(a^n)} used by the
+// squaring and only-a's scaling experiments.
+func Repeated(rel, atom string, n int) *instance.Instance {
+	inst := instance.New()
+	inst.Ensure(rel, 1)
+	inst.AddPath(rel, value.Repeat(atom, n))
+	return inst
+}
+
+// SubstringHaystack builds R with one haystack string of the given
+// length and S with needles, for the Example 2.2 query.
+func SubstringHaystack(seed int64, length, needles, needleLen int) *instance.Instance {
+	r := rand.New(rand.NewSource(seed))
+	alphabet := []string{"a", "b", "c"}
+	inst := instance.New()
+	inst.Ensure("R", 1)
+	inst.Ensure("S", 1)
+	hay := make(value.Path, length)
+	for i := range hay {
+		hay[i] = value.Atom(alphabet[r.Intn(len(alphabet))])
+	}
+	inst.AddPath("R", hay)
+	for i := 0; i < needles; i++ {
+		if length >= needleLen {
+			start := r.Intn(length - needleLen + 1)
+			inst.AddPath("S", hay[start:start+needleLen].Clone())
+		}
+	}
+	return inst
+}
+
+// TwoJSONSets builds J1 and J2 path sets that are equal when equal is
+// true and differ in one path otherwise (deep-equality example).
+func TwoJSONSets(seed int64, paths, depth int, equal bool) *instance.Instance {
+	r := rand.New(rand.NewSource(seed))
+	keys := []string{"name", "age", "city", "zip", "id"}
+	inst := instance.New()
+	inst.Ensure("J1", 1)
+	inst.Ensure("J2", 1)
+	for i := 0; i < paths; i++ {
+		p := make(value.Path, depth)
+		for k := range p {
+			p[k] = value.Atom(keys[r.Intn(len(keys))])
+		}
+		inst.AddPath("J1", p)
+		inst.AddPath("J2", p)
+	}
+	if !equal {
+		inst.AddPath("J2", value.PathOf("extra", "key"))
+	}
+	return inst
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"testing"
+
+	"seqlog/internal/value"
+)
+
+func TestAlphabet(t *testing.T) {
+	a := Alphabet(3)
+	if len(a) != 3 || a[0] != "a" || a[2] != "c" {
+		t.Fatalf("Alphabet = %v", a)
+	}
+	if len(Alphabet(30)) != 30 {
+		t.Fatal("large alphabet broken")
+	}
+}
+
+func TestStringsDeterministic(t *testing.T) {
+	a := Strings(42, "R", 10, 5, Alphabet(2))
+	b := Strings(42, "R", 10, 5, Alphabet(2))
+	if !a.Equal(b) {
+		t.Fatal("same seed must give same instance")
+	}
+	if a.Relation("R").Len() == 0 {
+		t.Fatal("no strings generated")
+	}
+	for _, tu := range a.Relation("R").Tuples() {
+		if len(tu[0]) != 5 {
+			t.Fatalf("wrong length: %v", tu)
+		}
+	}
+}
+
+func TestOnlyAsHalfPositive(t *testing.T) {
+	inst := OnlyAs(7, "R", 10, 4)
+	alla := 0
+	for _, tu := range inst.Relation("R").Tuples() {
+		good := true
+		for _, v := range tu[0] {
+			if v != value.Atom("a") {
+				good = false
+			}
+		}
+		if good {
+			alla++
+		}
+	}
+	if alla == 0 || alla == inst.Relation("R").Len() {
+		t.Fatalf("expected a mix, got %d/%d", alla, inst.Relation("R").Len())
+	}
+}
+
+func TestNFAShape(t *testing.T) {
+	inst := NFA(1, 5, 4)
+	if inst.Relation("D").Len() != 4 || inst.Relation("D").Arity != 3 {
+		t.Fatalf("D: %v", inst.Relation("D").Sorted())
+	}
+	if inst.Relation("N").Len() != 1 || inst.Relation("F").Len() != 1 {
+		t.Fatal("N/F wrong")
+	}
+}
+
+func TestGraphAndChain(t *testing.T) {
+	g := Graph(3, 6, 10)
+	for _, tu := range g.Relation("R").Tuples() {
+		if len(tu[0]) != 2 {
+			t.Fatalf("edge path length: %v", tu)
+		}
+	}
+	c := Chain(5)
+	if c.Relation("R").Len() != 5 {
+		t.Fatalf("chain edges = %d", c.Relation("R").Len())
+	}
+}
+
+func TestEventLogs(t *testing.T) {
+	logs := EventLogs(9, "L", 8, 6)
+	if logs.Relation("L").Len() == 0 {
+		t.Fatal("no logs")
+	}
+}
+
+func TestSales(t *testing.T) {
+	s := Sales(11, 3, 4)
+	if s.Relation("Sales").Len() != 12 {
+		t.Fatalf("sales = %d", s.Relation("Sales").Len())
+	}
+	for _, tu := range s.Relation("Sales").Tuples() {
+		if len(tu[0]) != 3 {
+			t.Fatalf("triple length: %v", tu)
+		}
+	}
+}
+
+func TestRepeated(t *testing.T) {
+	r := Repeated("R", "a", 4)
+	if !r.Relation("R").Contains([]value.Path{value.Repeat("a", 4)}) {
+		t.Fatal("Repeated broken")
+	}
+}
+
+func TestSubstringHaystack(t *testing.T) {
+	h := SubstringHaystack(13, 12, 3, 2)
+	if h.Relation("R").Len() != 1 {
+		t.Fatal("haystack missing")
+	}
+	if h.Relation("S").Len() == 0 {
+		t.Fatal("needles missing")
+	}
+	hay := h.Relation("R").Tuples()[0][0]
+	for _, tu := range h.Relation("S").Tuples() {
+		found := false
+		needle := tu[0]
+		for i := 0; i+len(needle) <= len(hay); i++ {
+			if hay[i : i+len(needle)].Equal(needle) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("needle %v not in haystack %v", needle, hay)
+		}
+	}
+}
+
+func TestTwoJSONSets(t *testing.T) {
+	same := TwoJSONSets(15, 6, 3, true)
+	if same.Relation("J1").Len() != same.Relation("J2").Len() {
+		t.Fatal("equal sets differ")
+	}
+	diff := TwoJSONSets(15, 6, 3, false)
+	if diff.Relation("J1").Len() == diff.Relation("J2").Len() {
+		t.Fatal("different sets have same size")
+	}
+}

@@ -1,0 +1,109 @@
+package seqlog
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	prog := MustParse(`S($x) :- R($x), a.$x = $x.a.`)
+	edb := MustParseInstance(`R(a.a). R(a.b). R(eps).`)
+	rel, err := Query(prog, edb, "S", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("S = %v", rel.Sorted())
+	}
+}
+
+func TestFacadeClassification(t *testing.T) {
+	if !Subsumes(Frag("E"), Frag("I")) || !Equivalent(Frag("E"), Frag("I")) {
+		t.Fatal("E and I must be equivalent")
+	}
+	if len(Classes()) != 11 {
+		t.Fatal("11 classes expected")
+	}
+	if BuildLattice().Top() < 0 {
+		t.Fatal("lattice broken")
+	}
+}
+
+func TestFacadeRewrite(t *testing.T) {
+	prog := MustParse(`S($x) :- R($x), a.$x = $x.a.`)
+	res, err := RewriteTo(prog, "S", Frag("AIR"))
+	if err != nil || !res.Exact {
+		t.Fatalf("RewriteTo: %v %v", res, err)
+	}
+	edb := MustParseInstance(`R(a.a). R(b).`)
+	r1, _ := Query(prog, edb, "S", Limits{})
+	r2, err := Query(res.Program, edb, "S", Limits{})
+	if err != nil || !r1.Equal(r2) {
+		t.Fatalf("rewrite changed semantics: %v vs %v (%v)", r1.Sorted(), r2.Sorted(), err)
+	}
+}
+
+func TestFacadeAlgebra(t *testing.T) {
+	prog := MustParse(`S($x) :- R(a.$x.b).`)
+	e, err := CompileAlgebra(prog, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb := MustParseInstance(`R(a.x.y.b). R(b.a).`)
+	rel, err := EvalAlgebra(e, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Query(prog, edb, "S", Limits{})
+	if !rel.Equal(want) {
+		t.Fatalf("algebra %v vs datalog %v", rel.Sorted(), want.Sorted())
+	}
+	back, err := AlgebraToDatalog(e, "Out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := Query(back, edb, "Out", Limits{})
+	if err != nil || !rel2.Equal(want) {
+		t.Fatalf("roundtrip: %v (%v)", rel2.Sorted(), err)
+	}
+}
+
+func TestFacadeNonTermination(t *testing.T) {
+	q, err := GetPaperQuery("non-terminating")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Eval(q.Program, NewInstance(), Limits{MaxFacts: 100})
+	if !errors.Is(err, ErrNonTermination) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFacadePaperQueries(t *testing.T) {
+	all := PaperQueries()
+	if len(all) < 15 {
+		t.Fatalf("only %d paper queries", len(all))
+	}
+	q, err := GetPaperQuery("squaring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb := NewInstance()
+	edb.AddPath("R", PathOf("a", "a", "a"))
+	rel, err := Query(q.Program, edb, q.Output, Limits{})
+	if err != nil || rel.Len() != 1 || len(rel.Tuples()[0][0]) != 9 {
+		t.Fatalf("squaring: %v %v", rel.Sorted(), err)
+	}
+}
+
+func TestFacadeUnify(t *testing.T) {
+	prog := MustParse(`X($x.a, a.$x) :- R($x).`)
+	head := prog.Rules()[0].Head
+	res := Unify(Equation{L: head.Args[0], R: head.Args[1]}, UnifyOptions{})
+	if res.Complete {
+		t.Fatal("$x.a = a.$x must be incomplete")
+	}
+	if len(res.Solutions) == 0 {
+		t.Fatal("expected at least the {$x->a} solution")
+	}
+}
