@@ -36,6 +36,7 @@ func main() {
 		maxFacts    = flag.Int("max-facts", eval.DefaultLimits.MaxFacts, "termination guard: maximum derived facts")
 		list        = flag.Bool("list", false, "list the built-in paper queries")
 		showProg    = flag.Bool("show-program", false, "print the (stratified) program before evaluating")
+		explain     = flag.Bool("explain", false, "print the compiled join plan (predicate order and index usage) before evaluating")
 	)
 	flag.Parse()
 
@@ -54,6 +55,16 @@ func main() {
 		fmt.Print(prog.String())
 		fmt.Println("---")
 	}
+	if *explain {
+		lines, err := eval.Explain(prog)
+		if err != nil {
+			fail(err)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		fmt.Println("---")
+	}
 
 	edb := instance.New()
 	if *dataFile != "" {
@@ -67,13 +78,19 @@ func main() {
 		}
 	}
 
+	if out != "" {
+		// eval.Query rejects output relations unknown to both the
+		// program and the instance instead of printing nothing.
+		rel, err := eval.Query(prog, edb, out, eval.Limits{MaxFacts: *maxFacts})
+		if err != nil {
+			fail(err)
+		}
+		printRelation(out, rel)
+		return
+	}
 	result, err := eval.Eval(prog, edb, eval.Limits{MaxFacts: *maxFacts})
 	if err != nil {
 		fail(err)
-	}
-	if out != "" {
-		printRelations(result, []string{out})
-		return
 	}
 	printRelations(result, prog.IDBNames())
 }
@@ -108,21 +125,23 @@ func loadProgram(file, query, output string) (ast.Program, string, error) {
 
 func printRelations(inst *instance.Instance, names []string) {
 	for _, n := range names {
-		rel := inst.Relation(n)
-		if rel == nil {
+		if rel := inst.Relation(n); rel != nil {
+			printRelation(n, rel)
+		}
+	}
+}
+
+func printRelation(name string, rel *instance.Relation) {
+	for _, t := range rel.Sorted() {
+		if len(t) == 0 {
+			fmt.Printf("%s.\n", name)
 			continue
 		}
-		for _, t := range rel.Sorted() {
-			if len(t) == 0 {
-				fmt.Printf("%s.\n", n)
-				continue
-			}
-			parts := make([]string, len(t))
-			for i, p := range t {
-				parts[i] = p.String()
-			}
-			fmt.Printf("%s(%s).\n", n, strings.Join(parts, ", "))
+		parts := make([]string, len(t))
+		for i, p := range t {
+			parts[i] = p.String()
 		}
+		fmt.Printf("%s(%s).\n", name, strings.Join(parts, ", "))
 	}
 }
 

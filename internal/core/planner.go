@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"seqlog/internal/ast"
+	"seqlog/internal/eval"
 	"seqlog/internal/rewrite"
 )
 
@@ -15,6 +16,12 @@ type PlanResult struct {
 	Achieved Fragment
 	// Steps names the transformation passes applied, in order.
 	Steps []string
+	// JoinPlan describes, rule by rule, the join plan the indexed
+	// evaluator chooses for the rewritten program (predicate order and
+	// access paths), so fragment-aware rewrites surface the same
+	// execution machinery as direct evaluation. Empty when the
+	// rewritten program fails to compile (recorded in Note).
+	JoinPlan []string
 	// Exact reports whether Achieved ⊆ target. When false, the
 	// subsumption holds by Theorem 6.1 but the constructive pipeline
 	// could not reach the exact target (see Note); this arises for
@@ -85,6 +92,11 @@ func RewriteTo(p ast.Program, output string, target Fragment) (PlanResult, error
 	res.Program = rewrite.PruneUnreachable(res.Program, output)
 	res.Steps = append(res.Steps, "prune-unreachable")
 	res.Achieved = res.Program.Features()
+	if jp, err := eval.Explain(res.Program); err == nil {
+		res.JoinPlan = jp
+	} else if res.Note == "" {
+		res.Note = fmt.Sprintf("rewritten program does not compile for evaluation: %v", err)
+	}
 	if !res.Achieved.SubsetOf(target) {
 		res.Exact = false
 		if res.Note == "" {

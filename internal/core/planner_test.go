@@ -234,3 +234,25 @@ S($x) :- R($x), !B($x).`)
 	checkEquivalent(t, prog, res.Program, "S",
 		randomInstances(7, 10, []string{"R"}, []string{"a", "b"}, 4, 4))
 }
+
+// TestRewriteToCarriesJoinPlan checks that fragment-aware rewrites are
+// threaded through the indexed evaluator's planner: every rewritten
+// program carries the join plan the engine will execute.
+func TestRewriteToCarriesJoinPlan(t *testing.T) {
+	prog := mustParse(t, `S($x) :- R($x), a.$x = $x.a.`)
+	for _, target := range []Fragment{Frag("EINR"), Frag("AIR"), Frag("I")} {
+		res, err := RewriteTo(prog, "S", target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.JoinPlan) != len(res.Program.Rules()) {
+			t.Fatalf("target %s: %d join-plan lines for %d rules:\n%s",
+				target, len(res.JoinPlan), len(res.Program.Rules()), strings.Join(res.JoinPlan, "\n"))
+		}
+		for _, line := range res.JoinPlan {
+			if !strings.Contains(line, "[") {
+				t.Fatalf("target %s: join-plan line lacks an access path: %s", target, line)
+			}
+		}
+	}
+}

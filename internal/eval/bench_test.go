@@ -5,9 +5,29 @@ import (
 	"testing"
 
 	"seqlog/internal/ast"
+	"seqlog/internal/instance"
 	"seqlog/internal/parser"
 	"seqlog/internal/value"
+	"seqlog/internal/workload"
 )
+
+// benchBothPaths runs the benchmark once with the indexed join path and
+// once with the naive scan path, so the asymptotic win of the index
+// subsystem is visible in one `go test -bench` run.
+func benchBothPaths(b *testing.B, run func(b *testing.B)) {
+	b.Helper()
+	for _, mode := range []struct {
+		name    string
+		indexed bool
+	}{{"indexed", true}, {"scan", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prev := IndexedJoins
+			IndexedJoins = mode.indexed
+			defer func() { IndexedJoins = prev }()
+			run(b)
+		})
+	}
+}
 
 func BenchmarkMatchTwoPathVars(b *testing.B) {
 	e := ast.Cat(ast.P("x"), ast.C("m"), ast.P("y"))
@@ -69,4 +89,60 @@ func chainFacts(n int) string {
 		s += fmt.Sprintf("R(n%d.n%d).\n", i, i+1)
 	}
 	return s
+}
+
+// BenchmarkTransitiveClosureGraph is the graphpaths workload of the
+// acceptance criterion: reachability over a random graph with 1000
+// edges encoded as length-2 paths (§5.1.1). The recursive rule's
+// R(@y.@z) atom has a ground prefix @y at join time, so the indexed
+// path probes the out-edges of y instead of scanning every edge.
+func BenchmarkTransitiveClosureGraph(b *testing.B) {
+	prog := parser.MustParseProgram(`
+T(@x.@y) :- R(@x.@y).
+T(@x.@z) :- T(@x.@y), R(@y.@z).
+S :- T(a.b).`)
+	for _, nodes := range []int{60, 200} {
+		edb := workload.Graph(9, nodes, 1000)
+		b.Run(fmt.Sprintf("nodes=%d/edges=1000", nodes), func(b *testing.B) {
+			benchBothPaths(b, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := Eval(prog, edb, Limits{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkConcatJoin is a sequence-concatenation workload: stitch
+// together A-strings ending in a key atom with B-strings starting with
+// it. The B(@k.$y) atom joins on a ground prefix; the scan path pays
+// |A|·|B| match attempts, the indexed path only |A|·matches.
+func BenchmarkConcatJoin(b *testing.B) {
+	prog := parser.MustParseProgram(`J($x.@k.$y) :- A($x.@k), B(@k.$y).`)
+	for _, n := range []int{64, 256} {
+		edb := concatWorkload(n)
+		b.Run(fmt.Sprintf("strings=%d", n), func(b *testing.B) {
+			benchBothPaths(b, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := Eval(prog, edb, Limits{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// concatWorkload builds n A-strings and n B-strings of length 5 over a
+// 16-key join alphabet.
+func concatWorkload(n int) *instance.Instance {
+	inst := instance.New()
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%d", i%16)
+		inst.AddPath("A", value.Concat(value.Repeat(fmt.Sprintf("a%d", i), 4), value.PathOf(key)))
+		inst.AddPath("B", value.Concat(value.PathOf(key), value.Repeat(fmt.Sprintf("b%d", i), 4)))
+	}
+	return inst
 }

@@ -14,6 +14,12 @@ import (
 // (§2.3); programs like Example 2.3 trip this error.
 var ErrNonTermination = errors.New("evaluation exceeded limits (program may not terminate)")
 
+// IndexedJoins toggles the indexed join path (exact column indexes and
+// ground-prefix probes chosen by the planner). It is on by default and
+// exists so benchmarks and tests can compare against the naive
+// scan-every-tuple evaluator; both paths compute the same least model.
+var IndexedJoins = true
+
 // Limits bound an evaluation. Zero values mean "use the default".
 type Limits struct {
 	// MaxFacts bounds the total number of derived facts.
@@ -57,8 +63,9 @@ func Eval(prog ast.Program, edb *instance.Instance, limits Limits) (*instance.In
 }
 
 // Query evaluates the program and returns the contents of one output
-// relation as a relation (possibly empty, with arity inferred from the
-// program or defaulting to unary).
+// relation (possibly empty, with arity taken from the program). An
+// output relation unknown to both the program and the instance is an
+// error: it almost always indicates a misspelled relation name.
 func Query(prog ast.Program, edb *instance.Instance, output string, limits Limits) (*instance.Relation, error) {
 	out, err := Eval(prog, edb, limits)
 	if err != nil {
@@ -74,7 +81,7 @@ func Query(prog ast.Program, edb *instance.Instance, output string, limits Limit
 	if a, ok := arities[output]; ok {
 		return instance.NewRelation(a), nil
 	}
-	return instance.NewRelation(1), nil
+	return nil, fmt.Errorf("eval: unknown output relation %q (not defined by the program and absent from the instance)", output)
 }
 
 // Holds evaluates the program and reports whether the nullary output
@@ -88,6 +95,31 @@ func Holds(prog ast.Program, edb *instance.Instance, output string, limits Limit
 	return r != nil && r.Len() > 0, nil
 }
 
+// Explain compiles every rule of the program and returns, in rule
+// order, a one-line description of the join plan the evaluator will
+// execute: the chosen predicate order and, per predicate, the access
+// path (exact index, ground-prefix index, or scan).
+func Explain(prog ast.Program) ([]string, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, stratum := range prog.Strata {
+		for _, r := range stratum {
+			p, err := compile(r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p.describe())
+		}
+	}
+	return out, nil
+}
+
+// evalStratum runs the semi-naive fixpoint of one stratum. Deltas are
+// tracked by watermark: relations are append-only, so the facts derived
+// in a round are exactly the insertion window [len before, len after),
+// iterated in place via Relation.Slice — no per-round delta instances.
 func evalStratum(stratum ast.Stratum, inst *instance.Instance, limits Limits, derived *int) error {
 	plans := make([]*plan, len(stratum))
 	for i, r := range stratum {
@@ -101,41 +133,82 @@ func evalStratum(stratum ast.Stratum, inst *instance.Instance, limits Limits, de
 	for _, r := range stratum {
 		local[r.Head.Name] = true
 	}
+	lengths := func() map[string]int {
+		m := make(map[string]int, len(local))
+		for name := range local {
+			if rel := inst.Relation(name); rel != nil {
+				m[name] = rel.Len()
+			}
+		}
+		return m
+	}
 
 	// Round 0: evaluate every rule against the full instance.
-	delta := instance.New()
+	prev := lengths()
 	for _, p := range plans {
-		if err := runPlan(p, inst, nil, -1, delta, limits, derived); err != nil {
+		if err := runPlan(p, inst, -1, 0, 0, limits, derived); err != nil {
 			return err
 		}
 	}
 	// Semi-naive rounds: re-evaluate rules with one local positive
-	// predicate restricted to the previous round's delta.
-	for iter := 0; delta.Facts() > 0; iter++ {
+	// predicate restricted to the window of facts derived in the
+	// previous round.
+	for iter := 0; ; iter++ {
+		cur := lengths()
+		grew := false
+		for name, n := range cur {
+			if n > prev[name] {
+				grew = true
+				break
+			}
+		}
+		if !grew {
+			return nil
+		}
 		if iter >= limits.MaxIterations {
 			return fmt.Errorf("%w: %d fixpoint rounds", ErrNonTermination, iter)
 		}
-		next := instance.New()
 		for _, p := range plans {
 			for _, stepIdx := range p.predSteps {
 				name := p.steps[stepIdx].pred.Name
-				if !local[name] || delta.Relation(name) == nil || delta.Relation(name).Len() == 0 {
+				if !local[name] {
 					continue
 				}
-				if err := runPlan(p, inst, delta, stepIdx, next, limits, derived); err != nil {
+				lo, hi := prev[name], cur[name]
+				if hi <= lo {
+					continue
+				}
+				if err := runPlan(p, inst, stepIdx, lo, hi, limits, derived); err != nil {
 					return err
 				}
 			}
 		}
-		delta = next
+		prev = cur
 	}
-	return nil
 }
 
 // runPlan evaluates one rule. If deltaStep >= 0, the positive predicate
-// at that step index iterates over delta instead of the full instance.
-func runPlan(p *plan, inst, delta *instance.Instance, deltaStep int, out *instance.Instance, limits Limits, derived *int) error {
+// at that step index iterates only the insertion window [deltaLo,
+// deltaHi) of its relation instead of all tuples.
+func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, limits Limits, derived *int) error {
 	env := NewEnv()
+	// Resolve each step's relation and exact index once per run: exec
+	// fires once per binding reaching the step, far too hot for map and
+	// index-signature lookups. A relation first created by this very
+	// run's derivations stays unseen until the next semi-naive round,
+	// whose delta window covers the new facts.
+	rels := make([]*instance.Relation, len(p.steps))
+	idxs := make([]*instance.Index, len(p.steps))
+	for i, s := range p.steps {
+		if s.kind != stepPred && s.kind != stepNegPred {
+			continue
+		}
+		rels[i] = inst.Relation(s.pred.Name)
+		if s.kind == stepPred && IndexedJoins && rels[i] != nil &&
+			rels[i].Arity == len(s.pred.Args) && len(s.boundCols) > 0 {
+			idxs[i] = rels[i].Index(s.boundCols...)
+		}
+	}
 	var evalErr error
 	var exec func(i int)
 	exec = func(i int) {
@@ -143,17 +216,13 @@ func runPlan(p *plan, inst, delta *instance.Instance, deltaStep int, out *instan
 			return
 		}
 		if i == len(p.steps) {
-			evalErr = derive(p.rule.Head, env, inst, out, limits, derived)
+			evalErr = derive(p.rule.Head, env, inst, limits, derived)
 			return
 		}
 		s := p.steps[i]
 		switch s.kind {
 		case stepPred:
-			src := inst
-			if i == deltaStep {
-				src = delta
-			}
-			rel := src.Relation(s.pred.Name)
+			rel := rels[i]
 			if rel == nil {
 				return
 			}
@@ -161,7 +230,55 @@ func runPlan(p *plan, inst, delta *instance.Instance, deltaStep int, out *instan
 				evalErr = fmt.Errorf("predicate %s used with arity %d but relation has arity %d", s.pred.Name, len(s.pred.Args), rel.Arity)
 				return
 			}
-			for _, t := range rel.Tuples() {
+			lo, hi := 0, rel.Len()
+			if i == deltaStep {
+				lo, hi = deltaLo, deltaHi
+			}
+			if idxs[i] != nil {
+				// Exact probe: the ground argument positions pick the
+				// candidates; only the remaining columns need matching.
+				vals := make([]value.Path, len(s.boundCols))
+				for j, c := range s.boundCols {
+					vals[j] = env.Eval(s.pred.Args[c])
+				}
+				sub := make([]value.Path, len(s.unboundCols))
+				for _, pos := range idxs[i].Lookup(vals...) {
+					if pos < lo || pos >= hi {
+						continue
+					}
+					if len(s.unboundCols) == 0 {
+						exec(i + 1)
+					} else {
+						t := rel.TupleAt(pos)
+						for j, c := range s.unboundCols {
+							sub[j] = t[c]
+						}
+						env.MatchTuple(s.unboundArgs, sub, func() { exec(i + 1) })
+					}
+					if evalErr != nil {
+						return
+					}
+				}
+				return
+			}
+			if IndexedJoins && s.prefixCol >= 0 {
+				// Prefix probe: the ground prefix of one argument fixes
+				// a prefix of the corresponding column.
+				prefix := env.Eval(s.pred.Args[s.prefixCol][:s.prefixLen])
+				if len(prefix) > 0 {
+					for _, pos := range rel.PrefixLookup(s.prefixCol, prefix) {
+						if pos < lo || pos >= hi {
+							continue
+						}
+						env.MatchTuple(s.pred.Args, rel.TupleAt(pos), func() { exec(i + 1) })
+						if evalErr != nil {
+							return
+						}
+					}
+					return
+				}
+			}
+			for _, t := range rel.Slice(lo, hi) {
 				env.MatchTuple(s.pred.Args, t, func() { exec(i + 1) })
 				if evalErr != nil {
 					return
@@ -171,8 +288,11 @@ func runPlan(p *plan, inst, delta *instance.Instance, deltaStep int, out *instan
 			ground := env.Eval(s.ground)
 			env.Match(s.pattern, ground, func() { exec(i + 1) })
 		case stepNegPred:
-			rel := inst.Relation(s.pred.Name)
-			if rel != nil {
+			// All arguments are ground by safety: a single probe of the
+			// relation's built-in full-tuple hash index. Negated
+			// relations live in earlier strata, so the resolution
+			// hoisted above cannot go stale mid-run.
+			if rel := rels[i]; rel != nil {
 				t := make(instance.Tuple, len(s.pred.Args))
 				for k, a := range s.pred.Args {
 					t[k] = env.Eval(a)
@@ -193,7 +313,7 @@ func runPlan(p *plan, inst, delta *instance.Instance, deltaStep int, out *instan
 	return evalErr
 }
 
-func derive(head ast.Pred, env *Env, inst, out *instance.Instance, limits Limits, derived *int) error {
+func derive(head ast.Pred, env *Env, inst *instance.Instance, limits Limits, derived *int) error {
 	t := make(instance.Tuple, len(head.Args))
 	for i, a := range head.Args {
 		p := env.Eval(a)
@@ -203,7 +323,6 @@ func derive(head ast.Pred, env *Env, inst, out *instance.Instance, limits Limits
 		t[i] = p
 	}
 	if inst.Ensure(head.Name, len(head.Args)).Add(t) {
-		out.Ensure(head.Name, len(head.Args)).Add(t)
 		*derived++
 		if *derived > limits.MaxFacts {
 			return fmt.Errorf("%w: more than %d derived facts", ErrNonTermination, limits.MaxFacts)

@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"seqlog/internal/instance"
+	"seqlog/internal/parser"
+	"seqlog/internal/queries"
+	"seqlog/internal/value"
+	"seqlog/internal/workload"
+)
+
+// withScanPath runs f with the indexed join path disabled.
+func withScanPath(t *testing.T, f func()) {
+	t.Helper()
+	IndexedJoins = false
+	defer func() { IndexedJoins = true }()
+	f()
+}
+
+// agreementEDBs maps every terminating example query to a small but
+// non-trivial EDB; TestIndexedAndScanAgree fails if a query is missing
+// so the matrix stays complete as queries are added.
+func agreementEDBs(t *testing.T) map[string]*instance.Instance {
+	t.Helper()
+	blackGraph := workload.Graph(7, 10, 20)
+	for _, n := range []string{"a", "b", "n2", "n3"} {
+		blackGraph.AddPath("B", value.PathOf(n))
+	}
+	return map[string]*instance.Instance{
+		"only-as-equation":   workload.OnlyAs(1, "R", 12, 5),
+		"only-as-recursion":  workload.OnlyAs(1, "R", 12, 5),
+		"nfa-accept":         workload.NFA(4, 12, 6),
+		"three-occurrences":  workload.SubstringHaystack(5, 10, 3, 2),
+		"reverse-arity":      workload.Strings(2, "R", 6, 4, workload.Alphabet(3)),
+		"reverse-noarity":    workload.Strings(2, "R", 6, 4, workload.Alphabet(3)),
+		"mirror-nonequal":    workload.Strings(3, "R", 8, 4, workload.Alphabet(3)),
+		"squaring":           workload.Repeated("R", "a", 6),
+		"reachability":       workload.Graph(9, 12, 30),
+		"black-nodes":        blackGraph,
+		"even-length-packed": workload.Strings(8, "R", 6, 4, workload.Alphabet(2)),
+		"process-mining":     workload.EventLogs(10, "L", 8, 6),
+		"deep-unequal":       workload.TwoJSONSets(11, 20, 3, true),
+		"sales-by-year":      workload.Sales(12, 10, 3),
+		"nodes-on-all-paths": parser.MustParseInstance("P(a.b.c). P(d.b.c). P(b.c.e)."),
+	}
+}
+
+// TestIndexedAndScanAgree checks that the indexed join path and the
+// naive scan path compute the same least model on every terminating
+// example query of the paper.
+func TestIndexedAndScanAgree(t *testing.T) {
+	edbs := agreementEDBs(t)
+	for _, q := range queries.All() {
+		if !q.Terminating {
+			continue
+		}
+		edb, ok := edbs[q.Name]
+		if !ok {
+			t.Fatalf("query %s has no agreement EDB; add one to agreementEDBs", q.Name)
+		}
+		indexed, err := Eval(q.Program, edb, Limits{})
+		if err != nil {
+			t.Fatalf("%s (indexed): %v", q.Name, err)
+		}
+		var scanned *instance.Instance
+		withScanPath(t, func() {
+			scanned, err = Eval(q.Program, edb, Limits{})
+		})
+		if err != nil {
+			t.Fatalf("%s (scan): %v", q.Name, err)
+		}
+		if !indexed.Equal(scanned) {
+			t.Errorf("%s: indexed and scan paths disagree: %s", q.Name, instance.Diff(indexed, scanned))
+		}
+	}
+}
+
+// TestDeriveIntoScannedRelation exercises rules that derive into the
+// relation they are scanning: appends during a scan must not be seen by
+// the live iteration (snapshot semantics) but must be picked up by the
+// next semi-naive round, on both join paths.
+func TestDeriveIntoScannedRelation(t *testing.T) {
+	check := func(t *testing.T) {
+		// Symmetric closure: each derivation scans T while extending it.
+		sym := parser.MustParseProgram(`T(@y.@x) :- T(@x.@y).`)
+		out, err := Eval(sym, parser.MustParseInstance("T(a.b). T(c.d)."), Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := parser.MustParseInstance("T(a.b). T(b.a). T(c.d). T(d.c).")
+		if !out.Equal(want) {
+			t.Fatalf("symmetric closure: %s", instance.Diff(out, want))
+		}
+		// Self-join transitive closure: both body atoms scan the head
+		// relation.
+		tc := parser.MustParseProgram(`
+T(@x.@y) :- R(@x.@y).
+T(@x.@z) :- T(@x.@y), T(@y.@z).`)
+		out, err = Eval(tc, workload.Chain(5), Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.Relation("T").Len(); got != 15 {
+			t.Fatalf("closure of 5-chain has %d pairs, want 15", got)
+		}
+	}
+	t.Run("indexed", check)
+	t.Run("scan", func(t *testing.T) { withScanPath(t, func() { check(t) }) })
+}
+
+func TestQueryUnknownOutputErrors(t *testing.T) {
+	prog := parser.MustParseProgram(`S($x) :- R($x).`)
+	edb := parser.MustParseInstance("R(a).")
+	if _, err := Query(prog, edb, "Nope", Limits{}); err == nil || !strings.Contains(err.Error(), "unknown output relation") {
+		t.Fatalf("unknown output: got %v", err)
+	}
+	// A relation the program defines but never derives stays a valid,
+	// empty result with the program's arity.
+	rel, err := Query(parser.MustParseProgram(`S($x, $y) :- R($x), R($y), $x != $x.`), edb, "S", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 0 || rel.Arity != 2 {
+		t.Fatalf("empty program-defined output: len=%d arity=%d", rel.Len(), rel.Arity)
+	}
+	// A relation only the instance knows is returned as-is.
+	rel, err = Query(prog, edb, "R", Limits{})
+	if err != nil || rel.Len() != 1 {
+		t.Fatalf("edb output: %v %v", rel, err)
+	}
+}
+
+// TestExplainShowsAccessPaths pins the planner's choices on the
+// graphpaths reachability program: the recursive rule probes R by the
+// ground prefix @y, and the goal rule probes T by an exact index.
+func TestExplainShowsAccessPaths(t *testing.T) {
+	q, err := queries.Get("reachability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := Explain(q.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"[scan]", "[prefix col=0 len=1]", "[index[0] ground]"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("join plan lacks %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestPlannerReordersByBoundVariables pins the greedy join order: a
+// body written with the unbound atom last still runs it first when it
+// is the only source of bindings.
+func TestPlannerReordersByBoundVariables(t *testing.T) {
+	prog := parser.MustParseProgram(`S(@x) :- Q(@x, @y), R(@x.@y).`)
+	lines, err := Explain(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q binds both variables, so R becomes fully ground and probes an
+	// exact index rather than scanning.
+	if !strings.Contains(lines[0], "R(@x.@y) [index[0] ground]") {
+		t.Fatalf("join plan: %s", lines[0])
+	}
+}

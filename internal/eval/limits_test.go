@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"seqlog/internal/parser"
+)
+
+// nonTerminating is Example 2.3: the program that terminates on no
+// instance — it derives T(a), T(a.a), T(a.a.a), ... forever, one new
+// fact (and one new round) at a time.
+const nonTerminating = `
+T(a).
+T(a.$x) :- T($x).`
+
+func TestMaxFactsTripsNonTermination(t *testing.T) {
+	prog := parser.MustParseProgram(nonTerminating)
+	_, err := Eval(prog, parser.MustParseInstance(""), Limits{MaxFacts: 50})
+	if !errors.Is(err, ErrNonTermination) {
+		t.Fatalf("MaxFacts: got %v, want ErrNonTermination", err)
+	}
+}
+
+func TestMaxIterationsTripsNonTermination(t *testing.T) {
+	prog := parser.MustParseProgram(nonTerminating)
+	_, err := Eval(prog, parser.MustParseInstance(""), Limits{MaxIterations: 10})
+	if !errors.Is(err, ErrNonTermination) {
+		t.Fatalf("MaxIterations: got %v, want ErrNonTermination", err)
+	}
+}
+
+func TestMaxPathLenTripsNonTermination(t *testing.T) {
+	prog := parser.MustParseProgram(nonTerminating)
+	_, err := Eval(prog, parser.MustParseInstance(""), Limits{MaxPathLen: 5})
+	if !errors.Is(err, ErrNonTermination) {
+		t.Fatalf("MaxPathLen: got %v, want ErrNonTermination", err)
+	}
+}
+
+func TestLimitsDoNotFireOnTerminatingRuns(t *testing.T) {
+	prog := parser.MustParseProgram(`
+T($x) :- R($x).
+T($x) :- T($x.a).`)
+	edb := parser.MustParseInstance("R(a.a.a).")
+	out, err := Eval(prog, edb, Limits{MaxFacts: 100, MaxIterations: 100, MaxPathLen: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relation("T").Len() != 4 {
+		t.Fatalf("T = %v", out.Relation("T").Sorted())
+	}
+}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"strings"
 
 	"seqlog/internal/ast"
 )
@@ -16,6 +17,25 @@ type step struct {
 	pattern ast.Expr
 	// For negated equations both sides are ground at execution time.
 	neg bool
+
+	// Join acceleration (stepPred only), computed against the set of
+	// variables bound when the step runs.
+	//
+	// boundCols lists the argument positions whose expressions are fully
+	// ground at that point: the step can probe an exact hash index on
+	// those columns instead of scanning. unboundCols/unboundArgs are the
+	// complementary positions, matched per candidate (the bound ones are
+	// already verified by the index lookup).
+	boundCols   []int
+	unboundCols []int
+	unboundArgs []ast.Expr
+	// prefixCol/prefixLen describe the best ground term-prefix of a not
+	// fully bound argument (e.g. @y.$rest with @y bound has a length-1
+	// ground prefix). Used when boundCols is empty: any matching tuple's
+	// column must start with the prefix's value, so the step probes a
+	// prefix index. prefixCol is -1 when no argument qualifies.
+	prefixCol int
+	prefixLen int
 }
 
 type stepKind int
@@ -28,13 +48,15 @@ const (
 )
 
 // plan is a compiled rule: steps execute left to right; positive
-// predicates first, then positive equations in limited-closure order,
-// then negative literals (whose variables are bound by safety).
+// predicates first (greedily reordered so that steps with more bound
+// variables run later and can use index probes), then positive
+// equations in limited-closure order, then negative literals (whose
+// variables are bound by safety).
 type plan struct {
 	rule  ast.Rule
 	steps []step
-	// predLocal[i] is, for each stepPred index in order, the offset of
-	// that predicate step within p.steps. Used by semi-naive deltas.
+	// predSteps lists the offsets of the stepPred steps within p.steps,
+	// in execution order. Used by semi-naive deltas.
 	predSteps []int
 }
 
@@ -43,18 +65,37 @@ type plan struct {
 func compile(r ast.Rule) (*plan, error) {
 	p := &plan{rule: r}
 	bound := map[ast.Var]bool{}
-	// 1. Positive predicates, in the order written.
+	// 1. Positive predicates, greedily ordered by bound-variable count:
+	// at each point pick the atom with the most fully bound argument
+	// positions (then the longest ground argument prefix, then the most
+	// bound variable occurrences), so later steps arrive with bindings
+	// an index can exploit. Ties keep the written order. Join order
+	// never changes the derived set, only the work to derive it.
+	var preds []ast.Pred
 	for _, l := range r.Body {
 		if l.Neg {
 			continue
 		}
 		if pr, ok := l.Atom.(ast.Pred); ok {
-			p.predSteps = append(p.predSteps, len(p.steps))
-			p.steps = append(p.steps, step{kind: stepPred, pred: pr})
-			for _, a := range pr.Args {
-				for _, v := range a.Vars() {
-					bound[v] = true
-				}
+			preds = append(preds, pr)
+		}
+	}
+	for len(preds) > 0 {
+		best, bestScore := 0, predScore(preds[0], bound)
+		for i := 1; i < len(preds); i++ {
+			if s := predScore(preds[i], bound); scoreLess(bestScore, s) {
+				best, bestScore = i, s
+			}
+		}
+		pr := preds[best]
+		preds = append(preds[:best], preds[best+1:]...)
+		st := step{kind: stepPred, pred: pr}
+		annotate(&st, bound)
+		p.predSteps = append(p.predSteps, len(p.steps))
+		p.steps = append(p.steps, st)
+		for _, a := range pr.Args {
+			for _, v := range a.Vars() {
+				bound[v] = true
 			}
 		}
 	}
@@ -120,6 +161,85 @@ func compile(r ast.Rule) (*plan, error) {
 	return p, nil
 }
 
+// predScore ranks a candidate next join step under the current bound
+// set: (fully bound argument positions, longest ground argument term
+// prefix, bound variable occurrences).
+func predScore(pr ast.Pred, bound map[ast.Var]bool) [3]int {
+	var s [3]int
+	for _, a := range pr.Args {
+		if varsBound(a, bound) {
+			s[0]++
+			continue
+		}
+		if n := groundPrefixTerms(a, bound); n > s[1] {
+			s[1] = n
+		}
+	}
+	occ := map[ast.Var]int{}
+	for _, a := range pr.Args {
+		a.VarOccurrences(occ)
+	}
+	for v, n := range occ {
+		if bound[v] {
+			s[2] += n
+		}
+	}
+	return s
+}
+
+func scoreLess(a, b [3]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// annotate records which argument positions of a predicate step are
+// ground (index-probeable) under the bound set in force when the step
+// runs.
+func annotate(st *step, bound map[ast.Var]bool) {
+	st.prefixCol = -1
+	for k, a := range st.pred.Args {
+		if varsBound(a, bound) {
+			st.boundCols = append(st.boundCols, k)
+			continue
+		}
+		st.unboundCols = append(st.unboundCols, k)
+		st.unboundArgs = append(st.unboundArgs, a)
+		if n := groundPrefixTerms(a, bound); n > st.prefixLen {
+			st.prefixCol, st.prefixLen = k, n
+		}
+	}
+}
+
+// groundPrefixTerms counts the leading terms of the expression whose
+// variables are all bound (a packed term counts when its subexpression
+// is fully bound).
+func groundPrefixTerms(e ast.Expr, bound map[ast.Var]bool) int {
+	n := 0
+	for _, t := range e {
+		switch x := t.(type) {
+		case ast.Const:
+			n++
+			continue
+		case ast.VarT:
+			if bound[x.V] {
+				n++
+				continue
+			}
+		case ast.Pack:
+			if varsBound(x.E, bound) {
+				n++
+				continue
+			}
+		}
+		return n
+	}
+	return n
+}
+
 func varsBound(e ast.Expr, bound map[ast.Var]bool) bool {
 	for _, v := range e.Vars() {
 		if !bound[v] {
@@ -127,4 +247,39 @@ func varsBound(e ast.Expr, bound map[ast.Var]bool) bool {
 		}
 	}
 	return true
+}
+
+// describe renders the compiled join plan of the rule: the chosen
+// execution order with, per predicate step, the access path the
+// indexed evaluator uses.
+func (p *plan) describe() string {
+	var b strings.Builder
+	b.WriteString(p.rule.Head.String())
+	b.WriteString(" :- ")
+	for i, s := range p.steps {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch s.kind {
+		case stepPred:
+			b.WriteString(s.pred.String())
+			switch {
+			case len(s.boundCols) == len(s.pred.Args) && len(s.pred.Args) > 0:
+				fmt.Fprintf(&b, " [index%v ground]", s.boundCols)
+			case len(s.boundCols) > 0:
+				fmt.Fprintf(&b, " [index%v]", s.boundCols)
+			case s.prefixCol >= 0:
+				fmt.Fprintf(&b, " [prefix col=%d len=%d]", s.prefixCol, s.prefixLen)
+			default:
+				b.WriteString(" [scan]")
+			}
+		case stepEq:
+			fmt.Fprintf(&b, "%s = %s [match]", s.ground, s.pattern)
+		case stepNegPred:
+			fmt.Fprintf(&b, "!%s [probe]", s.pred)
+		case stepNegEq:
+			fmt.Fprintf(&b, "%s != %s [compare]", s.ground, s.pattern)
+		}
+	}
+	return b.String()
 }

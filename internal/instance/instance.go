@@ -14,7 +14,9 @@ import (
 // Tuple is one row of a relation: a fixed-arity list of paths.
 type Tuple []value.Path
 
-// Key returns a canonical injective encoding of the tuple.
+// Key returns a canonical injective encoding of the tuple. It is kept
+// for debugging and external canonicalisation; the membership path of
+// Relation uses the allocation-free Hash instead.
 func (t Tuple) Key() string {
 	parts := make([]string, len(t))
 	for i, p := range t {
@@ -22,6 +24,10 @@ func (t Tuple) Key() string {
 	}
 	return strings.Join(parts, "\x00")
 }
+
+// Hash returns a structural FNV-1a hash of the tuple. Equal tuples hash
+// equally; distinct tuples may collide, so callers confirm with Equal.
+func (t Tuple) Hash() uint64 { return hashPaths(t) }
 
 // Equal reports component-wise path equality.
 func (t Tuple) Equal(u Tuple) bool {
@@ -62,15 +68,35 @@ func (t Tuple) String() string {
 // Relation is a finite n-ary relation on paths with set semantics and
 // deterministic iteration order (insertion order; Sorted() for canonical
 // order).
+//
+// Membership is maintained through a built-in full-tuple hash index:
+// each tuple's structural hash is computed once on Add and reused by
+// Contains, Equal and Clone. Secondary indexes over column projections
+// (Index) and column prefixes (PrefixLookup) are built lazily on first
+// lookup and caught up after later Adds, so they are never stale.
 type Relation struct {
-	Arity  int
-	keys   map[string]int
-	tuples []Tuple
+	Arity    int
+	buckets  map[uint64][]int // tuple hash -> positions (collision buckets)
+	tuples   []Tuple
+	hashes   []uint64 // hashes[i] is the precomputed tuples[i].Hash()
+	indexes  map[string]*Index
+	prefixes map[prefixKey]*prefixIndex
 }
 
 // NewRelation creates an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
-	return &Relation{Arity: arity, keys: map[string]int{}}
+	return &Relation{Arity: arity, buckets: map[uint64][]int{}}
+}
+
+// lookupHashed returns the position of a tuple equal to t whose hash is
+// h, or -1.
+func (r *Relation) lookupHashed(h uint64, t Tuple) int {
+	for _, i := range r.buckets[h] {
+		if r.tuples[i].Equal(t) {
+			return i
+		}
+	}
+	return -1
 }
 
 // Add inserts a tuple; it reports whether the tuple was new.
@@ -79,27 +105,40 @@ func (r *Relation) Add(t Tuple) bool {
 	if len(t) != r.Arity {
 		panic(fmt.Sprintf("instance: arity mismatch: tuple %v into arity-%d relation", t, r.Arity))
 	}
-	k := t.Key()
-	if _, ok := r.keys[k]; ok {
+	h := t.Hash()
+	if r.lookupHashed(h, t) >= 0 {
 		return false
 	}
-	r.keys[k] = len(r.tuples)
+	r.buckets[h] = append(r.buckets[h], len(r.tuples))
 	r.tuples = append(r.tuples, t)
+	r.hashes = append(r.hashes, h)
 	return true
 }
 
-// Contains reports membership.
+// Contains reports membership via the full-tuple hash index.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.keys[t.Key()]
-	return ok
+	return r.lookupHashed(t.Hash(), t) >= 0
 }
 
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.tuples) }
 
 // Tuples returns the tuples in insertion order. The slice is shared;
-// callers must not mutate it.
+// callers must not mutate it. Relations are append-only, so ranging
+// over the returned slice while concurrently Adding to the relation is
+// safe and iterates a consistent snapshot: the range sees exactly the
+// tuples present when Tuples was called (the evaluator relies on this
+// when a rule derives into the relation it is scanning).
 func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// TupleAt returns the tuple at insertion position i.
+func (r *Relation) TupleAt(i int) Tuple { return r.tuples[i] }
+
+// Slice returns the tuples at insertion positions [lo, hi): delta-aware
+// iteration for semi-naive evaluation, where [lo, hi) is the window of
+// facts derived in the previous round. The slice is shared; callers
+// must not mutate it.
+func (r *Relation) Slice(lo, hi int) []Tuple { return r.tuples[lo:hi] }
 
 // Sorted returns the tuples in canonical order.
 func (r *Relation) Sorted() []Tuple {
@@ -109,11 +148,20 @@ func (r *Relation) Sorted() []Tuple {
 	return out
 }
 
-// Clone returns an independent copy of the relation.
+// Clone returns an independent copy of the relation. The precomputed
+// tuple hashes and membership buckets are copied, not recomputed;
+// secondary indexes are rebuilt lazily on the copy when first used.
 func (r *Relation) Clone() *Relation {
-	out := NewRelation(r.Arity)
-	for _, t := range r.tuples {
-		out.Add(t)
+	out := &Relation{
+		Arity:   r.Arity,
+		buckets: make(map[uint64][]int, len(r.buckets)),
+		tuples:  make([]Tuple, len(r.tuples)),
+		hashes:  make([]uint64, len(r.hashes)),
+	}
+	copy(out.tuples, r.tuples)
+	copy(out.hashes, r.hashes)
+	for h, bucket := range r.buckets {
+		out.buckets[h] = append([]int(nil), bucket...)
 	}
 	return out
 }
@@ -123,12 +171,160 @@ func (r *Relation) Equal(s *Relation) bool {
 	if r.Len() != s.Len() || r.Arity != s.Arity {
 		return false
 	}
-	for k := range r.keys {
-		if _, ok := s.keys[k]; !ok {
+	for i, t := range r.tuples {
+		if s.lookupHashed(r.hashes[i], t) < 0 {
 			return false
 		}
 	}
 	return true
+}
+
+// Index is a hash index over a projection of a relation's columns,
+// obtained from Relation.Index. It is built lazily: construction is
+// free, and each Lookup first absorbs any tuples Added since the last
+// lookup, so the index is never stale.
+type Index struct {
+	r    *Relation
+	cols []int
+	m    map[uint64][]int
+	upto int // tuples[:upto] are absorbed
+}
+
+// Index returns the (shared, lazily maintained) index keyed on the
+// given argument positions. Positions out of range panic: schemas fix
+// arities, so this is a programming error.
+func (r *Relation) Index(cols ...int) *Index {
+	var sig strings.Builder
+	for _, c := range cols {
+		if c < 0 || c >= r.Arity {
+			panic(fmt.Sprintf("instance: index column %d out of range for arity-%d relation", c, r.Arity))
+		}
+		fmt.Fprintf(&sig, "%d,", c)
+	}
+	if ix, ok := r.indexes[sig.String()]; ok {
+		return ix
+	}
+	ix := &Index{r: r, cols: append([]int(nil), cols...), m: map[uint64][]int{}}
+	if r.indexes == nil {
+		r.indexes = map[string]*Index{}
+	}
+	r.indexes[sig.String()] = ix
+	return ix
+}
+
+// hashCols folds the indexed columns of a tuple; it must agree with
+// hashPaths on the projected values so probes find their buckets.
+func hashCols(t Tuple, cols []int) uint64 {
+	h := value.HashSeed
+	for _, c := range cols {
+		h = value.HashByte(h, 0x1f)
+		h = t[c].Hash(h)
+	}
+	return h
+}
+
+// hashPaths folds a sequence of paths with 0x1f component separators;
+// the single fold shared by tuple membership and index probes.
+func hashPaths(vals []value.Path) uint64 {
+	h := value.HashSeed
+	for _, p := range vals {
+		h = value.HashByte(h, 0x1f)
+		h = p.Hash(h)
+	}
+	return h
+}
+
+// verifyBucket filters hash-collision false positives out of a bucket,
+// returning the bucket itself (shared, read-only) in the common case
+// where every position is a true match.
+func verifyBucket(bucket []int, match func(pos int) bool) []int {
+	for k, pos := range bucket {
+		if !match(pos) {
+			out := make([]int, k, len(bucket))
+			copy(out, bucket[:k])
+			for _, p := range bucket[k+1:] {
+				if match(p) {
+					out = append(out, p)
+				}
+			}
+			return out
+		}
+	}
+	return bucket
+}
+
+func (ix *Index) catchUp() {
+	for ; ix.upto < len(ix.r.tuples); ix.upto++ {
+		h := hashCols(ix.r.tuples[ix.upto], ix.cols)
+		ix.m[h] = append(ix.m[h], ix.upto)
+	}
+}
+
+// Lookup returns the insertion positions (ascending) of the tuples
+// whose indexed columns equal vals component-wise. Hash collisions are
+// verified, so every returned position is a true match. The returned
+// slice is shared with the index; callers must not mutate it.
+func (ix *Index) Lookup(vals ...value.Path) []int {
+	if len(vals) != len(ix.cols) {
+		panic(fmt.Sprintf("instance: index over %d columns probed with %d values", len(ix.cols), len(vals)))
+	}
+	ix.catchUp()
+	return verifyBucket(ix.m[hashPaths(vals)], func(pos int) bool {
+		t := ix.r.tuples[pos]
+		for j, c := range ix.cols {
+			if !t[c].Equal(vals[j]) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// prefixKey identifies a lazily built prefix index: column col, keyed
+// on the first n values of that column.
+type prefixKey struct{ col, n int }
+
+type prefixIndex struct {
+	m    map[uint64][]int
+	upto int
+}
+
+// PrefixLookup returns the insertion positions (ascending) of the
+// tuples whose column col starts with the given non-empty prefix. A
+// separate index per (col, len(prefix)) is built lazily and caught up
+// after Adds. Collisions are verified; the returned slice is shared.
+//
+// This is the probe the evaluator uses when a join argument like
+// @y.$rest has a ground prefix under the current valuation: any
+// matching tuple's column must begin with exactly that prefix.
+func (r *Relation) PrefixLookup(col int, prefix value.Path) []int {
+	if col < 0 || col >= r.Arity {
+		panic(fmt.Sprintf("instance: prefix column %d out of range for arity-%d relation", col, r.Arity))
+	}
+	if len(prefix) == 0 {
+		panic("instance: empty prefix probe (caller should scan)")
+	}
+	key := prefixKey{col, len(prefix)}
+	ix, ok := r.prefixes[key]
+	if !ok {
+		ix = &prefixIndex{m: map[uint64][]int{}}
+		if r.prefixes == nil {
+			r.prefixes = map[prefixKey]*prefixIndex{}
+		}
+		r.prefixes[key] = ix
+	}
+	for ; ix.upto < len(r.tuples); ix.upto++ {
+		p := r.tuples[ix.upto][col]
+		if len(p) < key.n {
+			continue
+		}
+		h := p[:key.n].Hash(value.HashSeed)
+		ix.m[h] = append(ix.m[h], ix.upto)
+	}
+	return verifyBucket(ix.m[prefix.Hash(value.HashSeed)], func(pos int) bool {
+		p := r.tuples[pos][col]
+		return len(p) >= len(prefix) && p[:len(prefix)].Equal(prefix)
+	})
 }
 
 // Instance assigns finite relations to relation names (paper §2.1).

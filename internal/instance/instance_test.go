@@ -1,6 +1,7 @@
 package instance
 
 import (
+	"fmt"
 	"testing"
 
 	"seqlog/internal/value"
@@ -126,5 +127,137 @@ func TestMaxPathLen(t *testing.T) {
 	i.AddFact("A")
 	if i.MaxPathLen() != 3 {
 		t.Fatalf("MaxPathLen = %d", i.MaxPathLen())
+	}
+}
+
+func TestTupleHashEqualTuplesAgree(t *testing.T) {
+	a := tup(value.PathOf("a", "b"), value.Path{value.Pack(value.PathOf("c"))})
+	b := tup(value.PathOf("a", "b"), value.Path{value.Pack(value.PathOf("c"))})
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal tuples must hash equally")
+	}
+	// The structural tags keep (a.b, eps) apart from (a, b.eps)-style
+	// reshufflings that a naive concatenation hash would conflate.
+	c := tup(value.PathOf("a"), value.PathOf("b"))
+	d := tup(value.PathOf("a", "b"), value.Epsilon)
+	if c.Hash() == d.Hash() {
+		t.Fatal("component boundaries must affect the hash")
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	r := NewRelation(2)
+	r.Add(tup(value.PathOf("a"), value.PathOf("x")))
+	r.Add(tup(value.PathOf("a"), value.PathOf("y")))
+	r.Add(tup(value.PathOf("b"), value.PathOf("x")))
+	ix := r.Index(0)
+	got := ix.Lookup(value.PathOf("a"))
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Lookup(a) = %v", got)
+	}
+	if len(ix.Lookup(value.PathOf("zzz"))) != 0 {
+		t.Fatal("missing key must yield no positions")
+	}
+	// The index catches up after later Adds (never stale).
+	r.Add(tup(value.PathOf("a"), value.PathOf("z")))
+	if got := ix.Lookup(value.PathOf("a")); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("post-Add Lookup(a) = %v", got)
+	}
+	// Multi-column probe.
+	both := r.Index(0, 1).Lookup(value.PathOf("a"), value.PathOf("y"))
+	if len(both) != 1 || both[0] != 1 {
+		t.Fatalf("Lookup(a, y) = %v", both)
+	}
+	// Index objects are shared per column signature.
+	if r.Index(0) != ix {
+		t.Fatal("same-signature index must be shared")
+	}
+}
+
+func TestIndexColumnOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range index column must panic")
+		}
+	}()
+	NewRelation(1).Index(1)
+}
+
+func TestPrefixLookup(t *testing.T) {
+	r := NewRelation(1)
+	r.Add(tup(value.PathOf("a", "b", "c")))
+	r.Add(tup(value.PathOf("a", "c")))
+	r.Add(tup(value.PathOf("b", "b")))
+	r.Add(tup(value.PathOf("a")))
+	got := r.PrefixLookup(0, value.PathOf("a"))
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("PrefixLookup(a) = %v", got)
+	}
+	got = r.PrefixLookup(0, value.PathOf("a", "b"))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("PrefixLookup(a.b) = %v", got)
+	}
+	// Tuples shorter than the prefix never match.
+	if got := r.PrefixLookup(0, value.PathOf("a", "b", "c", "d")); len(got) != 0 {
+		t.Fatalf("over-long prefix = %v", got)
+	}
+	// Catch-up after Add.
+	r.Add(tup(value.PathOf("a", "b")))
+	if got := r.PrefixLookup(0, value.PathOf("a", "b")); len(got) != 2 || got[1] != 4 {
+		t.Fatalf("post-Add PrefixLookup(a.b) = %v", got)
+	}
+}
+
+func TestSliceAndTupleAt(t *testing.T) {
+	r := NewRelation(1)
+	r.Add(tup(value.PathOf("a")))
+	mark := r.Len()
+	r.Add(tup(value.PathOf("b")))
+	r.Add(tup(value.PathOf("c")))
+	delta := r.Slice(mark, r.Len())
+	if len(delta) != 2 || delta[0].String() != "(b)" || delta[1].String() != "(c)" {
+		t.Fatalf("Slice = %v", delta)
+	}
+	if r.TupleAt(0).String() != "(a)" {
+		t.Fatalf("TupleAt(0) = %v", r.TupleAt(0))
+	}
+}
+
+func TestCloneKeepsHashedMembership(t *testing.T) {
+	r := NewRelation(1)
+	r.Add(tup(value.PathOf("a")))
+	r.Add(tup(value.PathOf("b")))
+	c := r.Clone()
+	if !c.Contains(tup(value.PathOf("a"))) || c.Add(tup(value.PathOf("b"))) {
+		t.Fatal("clone must preserve membership")
+	}
+	// Divergent growth: the copy's buckets are independent.
+	c.Add(tup(value.PathOf("c")))
+	if r.Contains(tup(value.PathOf("c"))) || !c.Contains(tup(value.PathOf("c"))) {
+		t.Fatal("clone shares membership state")
+	}
+	// Indexes built on the original do not leak into the clone.
+	r.Index(0).Lookup(value.PathOf("a"))
+	c2 := r.Clone()
+	c2.Add(tup(value.PathOf("d")))
+	if got := c2.Index(0).Lookup(value.PathOf("d")); len(got) != 1 {
+		t.Fatalf("clone index = %v", got)
+	}
+}
+
+func TestAppendDuringIterationSeesSnapshot(t *testing.T) {
+	r := NewRelation(1)
+	r.Add(tup(value.PathOf("a")))
+	r.Add(tup(value.PathOf("b")))
+	seen := 0
+	for range r.Tuples() {
+		r.Add(tup(value.PathOf("c", fmt.Sprint(seen))))
+		seen++
+	}
+	if seen != 2 {
+		t.Fatalf("iteration saw %d tuples; appends must not extend a live scan", seen)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
 	}
 }

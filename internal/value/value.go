@@ -163,6 +163,39 @@ func (p Packed) appendKey(b *strings.Builder) {
 	b.WriteByte('>')
 }
 
+// HashSeed is the FNV-1a offset basis, the canonical seed for Hash.
+const HashSeed uint64 = 14695981039346656037
+
+// hashPrime is the FNV-1a 64-bit prime.
+const hashPrime uint64 = 1099511628211
+
+// HashByte folds one byte into a running FNV-1a hash. It is exported so
+// that containers of paths (tuples, column projections) can interleave
+// their own structural separators with path hashes.
+func HashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * hashPrime }
+
+// Hash folds the path into a running FNV-1a hash seeded with h
+// (HashSeed for a fresh hash). The encoding mirrors appendKey: equal
+// paths always hash equally, and the structural tags keep e.g. the atom
+// path a.b distinct from the packed value <a.b>. Collisions between
+// distinct paths are possible; callers must confirm with Equal.
+func (p Path) Hash(h uint64) uint64 {
+	for _, v := range p {
+		switch x := v.(type) {
+		case Atom:
+			h = HashByte(h, 0x01)
+			for i := 0; i < len(x); i++ {
+				h = HashByte(h, x[i])
+			}
+		case Packed:
+			h = HashByte(h, 0x02)
+			h = x.P.Hash(h)
+			h = HashByte(h, 0x03)
+		}
+	}
+	return h
+}
+
 // Equal reports whether two values are the same value.
 func Equal(v, w Value) bool {
 	switch x := v.(type) {

@@ -122,6 +122,12 @@ func Holds(p Program, edb *Instance, output string, limits Limits) (bool, error)
 	return eval.Holds(p, edb, output, limits)
 }
 
+// ExplainJoins returns, rule by rule, the join plan the indexed
+// evaluator chooses for the program: predicate execution order and,
+// per predicate, the access path (exact index, ground-prefix index,
+// or scan).
+func ExplainJoins(p Program) ([]string, error) { return eval.Explain(p) }
+
 // Classification (§3, §6).
 type (
 	// Fragment is a set of features.
