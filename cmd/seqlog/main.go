@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	seqlog -program prog.sdl -data facts.sdl [-output S] [-max-facts N]
+//	seqlog -program prog.sdl -data facts.sdl [-output S] [-max-facts N] [-workers N]
 //	seqlog -query nfa-accept -data facts.sdl
 //	seqlog -list
 //
@@ -34,6 +34,7 @@ func main() {
 		dataFile    = flag.String("data", "", "file holding the EDB facts")
 		output      = flag.String("output", "", "relation to print (default: all IDB relations)")
 		maxFacts    = flag.Int("max-facts", eval.DefaultLimits.MaxFacts, "termination guard: maximum derived facts")
+		workers     = flag.Int("workers", 1, "fixpoint workers per round (1 = sequential, -1 = all CPUs)")
 		list        = flag.Bool("list", false, "list the built-in paper queries")
 		showProg    = flag.Bool("show-program", false, "print the (stratified) program before evaluating")
 		explain     = flag.Bool("explain", false, "print the compiled join plan (predicate order and index usage) before evaluating")
@@ -78,17 +79,18 @@ func main() {
 		}
 	}
 
+	limits := eval.Limits{MaxFacts: *maxFacts, Parallelism: *workers}
 	if out != "" {
 		// eval.Query rejects output relations unknown to both the
 		// program and the instance instead of printing nothing.
-		rel, err := eval.Query(prog, edb, out, eval.Limits{MaxFacts: *maxFacts})
+		rel, err := eval.Query(prog, edb, out, limits)
 		if err != nil {
 			fail(err)
 		}
 		printRelation(out, rel)
 		return
 	}
-	result, err := eval.Eval(prog, edb, eval.Limits{MaxFacts: *maxFacts})
+	result, err := eval.Eval(prog, edb, limits)
 	if err != nil {
 		fail(err)
 	}

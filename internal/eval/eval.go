@@ -3,6 +3,7 @@ package eval
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"seqlog/internal/ast"
 	"seqlog/internal/instance"
@@ -20,7 +21,8 @@ var ErrNonTermination = errors.New("evaluation exceeded limits (program may not 
 // scan-every-tuple evaluator; both paths compute the same least model.
 var IndexedJoins = true
 
-// Limits bound an evaluation. Zero values mean "use the default".
+// Limits bound and configure an evaluation. Zero values mean "use the
+// default".
 type Limits struct {
 	// MaxFacts bounds the total number of derived facts.
 	MaxFacts int
@@ -28,6 +30,14 @@ type Limits struct {
 	MaxIterations int
 	// MaxPathLen bounds the length of any derived path (0 = unbounded).
 	MaxPathLen int
+	// Parallelism sets the number of worker goroutines evaluating each
+	// fixpoint round. 0 and 1 select the sequential evaluator; values
+	// above 1 select the parallel evaluator with that many workers; a
+	// negative value uses runtime.GOMAXPROCS(0). Both evaluators
+	// compute the same least model (the parallel one deterministically,
+	// independent of scheduling); parallelism only changes the
+	// wall-clock cost of getting there.
+	Parallelism int
 }
 
 // DefaultLimits are generous enough for all paper examples.
@@ -41,6 +51,18 @@ func (l Limits) orDefault() Limits {
 		l.MaxIterations = DefaultLimits.MaxIterations
 	}
 	return l
+}
+
+// workers normalizes the Parallelism knob to a concrete worker count.
+func (l Limits) workers() int {
+	switch {
+	case l.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	case l.Parallelism <= 1:
+		return 1
+	default:
+		return l.Parallelism
+	}
 }
 
 // Eval computes P(I): the least instance extending edb that satisfies
@@ -120,6 +142,16 @@ func Explain(prog ast.Program) ([]string, error) {
 // tracked by watermark: relations are append-only, so the facts derived
 // in a round are exactly the insertion window [len before, len after),
 // iterated in place via Relation.Slice — no per-round delta instances.
+//
+// With Limits.Parallelism > 1 each round's work — one unit per rule in
+// round 0, one per (rule, delta-restricted predicate, window slice)
+// afterwards — is fanned out across a bounded worker pool. Relations
+// are frozen during the fan-out (workers only read the shared
+// instance, deriving into private buffers) and the buffers are merged
+// single-threaded at the round barrier, deduplicated by the relations'
+// full-tuple hash indexes. Merging in work-unit order keeps the result
+// instance — including its insertion order — independent of goroutine
+// scheduling.
 func evalStratum(stratum ast.Stratum, inst *instance.Instance, limits Limits, derived *int) error {
 	plans := make([]*plan, len(stratum))
 	for i, r := range stratum {
@@ -142,12 +174,26 @@ func evalStratum(stratum ast.Stratum, inst *instance.Instance, limits Limits, de
 		}
 		return m
 	}
+	workers := limits.workers()
+	seqSink := func(head ast.Pred, env *Env) error {
+		return derive(head, env, inst, limits, derived)
+	}
 
 	// Round 0: evaluate every rule against the full instance.
 	prev := lengths()
-	for _, p := range plans {
-		if err := runPlan(p, inst, -1, 0, 0, limits, derived); err != nil {
+	if workers > 1 {
+		items := make([]workItem, len(plans))
+		for i, p := range plans {
+			items[i] = workItem{plan: p, deltaStep: -1}
+		}
+		if err := runRoundParallel(items, inst, workers, limits, derived); err != nil {
 			return err
+		}
+	} else {
+		for _, p := range plans {
+			if err := runPlan(p, inst, -1, 0, 0, seqSink); err != nil {
+				return err
+			}
 		}
 	}
 	// Semi-naive rounds: re-evaluate rules with one local positive
@@ -168,18 +214,24 @@ func evalStratum(stratum ast.Stratum, inst *instance.Instance, limits Limits, de
 		if iter >= limits.MaxIterations {
 			return fmt.Errorf("%w: %d fixpoint rounds", ErrNonTermination, iter)
 		}
-		for _, p := range plans {
-			for _, stepIdx := range p.predSteps {
-				name := p.steps[stepIdx].pred.Name
-				if !local[name] {
-					continue
-				}
-				lo, hi := prev[name], cur[name]
-				if hi <= lo {
-					continue
-				}
-				if err := runPlan(p, inst, stepIdx, lo, hi, limits, derived); err != nil {
-					return err
+		if workers > 1 {
+			if err := runRoundParallel(deltaItems(plans, local, prev, cur, workers), inst, workers, limits, derived); err != nil {
+				return err
+			}
+		} else {
+			for _, p := range plans {
+				for _, stepIdx := range p.predSteps {
+					name := p.steps[stepIdx].pred.Name
+					if !local[name] {
+						continue
+					}
+					lo, hi := prev[name], cur[name]
+					if hi <= lo {
+						continue
+					}
+					if err := runPlan(p, inst, stepIdx, lo, hi, seqSink); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -187,10 +239,17 @@ func evalStratum(stratum ast.Stratum, inst *instance.Instance, limits Limits, de
 	}
 }
 
-// runPlan evaluates one rule. If deltaStep >= 0, the positive predicate
-// at that step index iterates only the insertion window [deltaLo,
-// deltaHi) of its relation instead of all tuples.
-func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, limits Limits, derived *int) error {
+// sinkFunc consumes one derivation: the rule head instantiated under
+// the valuation the body search arrived at. The sequential evaluator
+// derives straight into the shared instance; parallel workers derive
+// into private buffers merged at the round barrier.
+type sinkFunc func(head ast.Pred, env *Env) error
+
+// runPlan evaluates one rule, feeding every derivation to sink. If
+// deltaStep >= 0, the positive predicate at that step index iterates
+// only the insertion window [deltaLo, deltaHi) of its relation instead
+// of all tuples.
+func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, sink sinkFunc) error {
 	env := NewEnv()
 	// Resolve each step's relation and exact index once per run: exec
 	// fires once per binding reaching the step, far too hot for map and
@@ -216,7 +275,7 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 			return
 		}
 		if i == len(p.steps) {
-			evalErr = derive(p.rule.Head, env, inst, limits, derived)
+			evalErr = sink(p.rule.Head, env)
 			return
 		}
 		s := p.steps[i]
@@ -313,14 +372,25 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 	return evalErr
 }
 
-func derive(head ast.Pred, env *Env, inst *instance.Instance, limits Limits, derived *int) error {
+// buildHeadTuple instantiates the rule head under the current
+// valuation, enforcing MaxPathLen. Shared by the sequential derive and
+// the parallel bufferSink so the two evaluators cannot drift.
+func buildHeadTuple(head ast.Pred, env *Env, limits Limits) (instance.Tuple, error) {
 	t := make(instance.Tuple, len(head.Args))
 	for i, a := range head.Args {
 		p := env.Eval(a)
 		if limits.MaxPathLen > 0 && len(p) > limits.MaxPathLen {
-			return fmt.Errorf("%w: derived path of length %d exceeds limit %d", ErrNonTermination, len(p), limits.MaxPathLen)
+			return nil, fmt.Errorf("%w: derived path of length %d exceeds limit %d", ErrNonTermination, len(p), limits.MaxPathLen)
 		}
 		t[i] = p
+	}
+	return t, nil
+}
+
+func derive(head ast.Pred, env *Env, inst *instance.Instance, limits Limits, derived *int) error {
+	t, err := buildHeadTuple(head, env, limits)
+	if err != nil {
+		return err
 	}
 	if inst.Ensure(head.Name, len(head.Args)).Add(t) {
 		*derived++

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"seqlog/internal/value"
 )
@@ -74,11 +76,29 @@ func (t Tuple) String() string {
 // Contains, Equal and Clone. Secondary indexes over column projections
 // (Index) and column prefixes (PrefixLookup) are built lazily on first
 // lookup and caught up after later Adds, so they are never stale.
+//
+// Concurrency contract: a Relation is safe for any number of
+// concurrent readers as long as no writer runs at the same time. The
+// read set includes every probe — Contains, Tuples, TupleAt, Slice,
+// Index(...).Lookup and PrefixLookup — even when a probe lazily builds
+// or catches up a secondary index: index construction is internally
+// synchronized (a mutex guards building, an atomic watermark makes the
+// caught-up fast path lock-free). Writers — Add, and Clone or Sorted of
+// a relation being Added to — require exclusive access; they are NOT
+// synchronized against readers. The parallel evaluator relies on
+// exactly this split: within a fixpoint round relations are frozen
+// (read-only fan-out, workers derive into private buffers) and all
+// writes happen single-threaded at the round barrier.
 type Relation struct {
-	Arity    int
-	buckets  map[uint64][]int // tuple hash -> positions (collision buckets)
-	tuples   []Tuple
-	hashes   []uint64 // hashes[i] is the precomputed tuples[i].Hash()
+	Arity   int
+	buckets map[uint64][]int // tuple hash -> positions (collision buckets)
+	tuples  []Tuple
+	hashes  []uint64 // hashes[i] is the precomputed tuples[i].Hash()
+
+	// mu guards creation of secondary indexes (the two maps below) and
+	// the build step that absorbs pending tuples into one; see the
+	// concurrency contract above.
+	mu       sync.RWMutex
 	indexes  map[string]*Index
 	prefixes map[prefixKey]*prefixIndex
 }
@@ -182,12 +202,16 @@ func (r *Relation) Equal(s *Relation) bool {
 // Index is a hash index over a projection of a relation's columns,
 // obtained from Relation.Index. It is built lazily: construction is
 // free, and each Lookup first absorbs any tuples Added since the last
-// lookup, so the index is never stale.
+// lookup, so the index is never stale. Lookups are safe from multiple
+// goroutines while the relation is frozen (see the Relation
+// concurrency contract): the absorb step runs under the relation's
+// mutex and publishes its watermark atomically, so concurrent probes
+// either skip it lock-free or serialize on the build.
 type Index struct {
 	r    *Relation
 	cols []int
 	m    map[uint64][]int
-	upto int // tuples[:upto] are absorbed
+	upto atomic.Int64 // tuples[:upto] are absorbed
 }
 
 // Index returns the (shared, lazily maintained) index keyed on the
@@ -201,10 +225,18 @@ func (r *Relation) Index(cols ...int) *Index {
 		}
 		fmt.Fprintf(&sig, "%d,", c)
 	}
-	if ix, ok := r.indexes[sig.String()]; ok {
+	r.mu.RLock()
+	ix := r.indexes[sig.String()]
+	r.mu.RUnlock()
+	if ix != nil {
 		return ix
 	}
-	ix := &Index{r: r, cols: append([]int(nil), cols...), m: map[uint64][]int{}}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ix := r.indexes[sig.String()]; ix != nil {
+		return ix
+	}
+	ix = &Index{r: r, cols: append([]int(nil), cols...), m: map[uint64][]int{}}
 	if r.indexes == nil {
 		r.indexes = map[string]*Index{}
 	}
@@ -253,11 +285,25 @@ func verifyBucket(bucket []int, match func(pos int) bool) []int {
 	return bucket
 }
 
-func (ix *Index) catchUp() {
-	for ; ix.upto < len(ix.r.tuples); ix.upto++ {
-		h := hashCols(ix.r.tuples[ix.upto], ix.cols)
-		ix.m[h] = append(ix.m[h], ix.upto)
+// CatchUp absorbs every tuple Added since the last absorb, bringing
+// the index fully up to date. Lookup calls it implicitly; the parallel
+// evaluator calls it explicitly before fanning out a round so that the
+// workers' probes hit the lock-free caught-up fast path. Absorbing is
+// synchronized: the watermark is published atomically after the
+// buckets are built, so a concurrent probe that observes it never sees
+// a partially built index.
+func (ix *Index) CatchUp() {
+	n := len(ix.r.tuples)
+	if int(ix.upto.Load()) >= n {
+		return
 	}
+	ix.r.mu.Lock()
+	defer ix.r.mu.Unlock()
+	for i := int(ix.upto.Load()); i < n; i++ {
+		h := hashCols(ix.r.tuples[i], ix.cols)
+		ix.m[h] = append(ix.m[h], i)
+	}
+	ix.upto.Store(int64(n))
 }
 
 // Lookup returns the insertion positions (ascending) of the tuples
@@ -268,7 +314,7 @@ func (ix *Index) Lookup(vals ...value.Path) []int {
 	if len(vals) != len(ix.cols) {
 		panic(fmt.Sprintf("instance: index over %d columns probed with %d values", len(ix.cols), len(vals)))
 	}
-	ix.catchUp()
+	ix.CatchUp()
 	return verifyBucket(ix.m[hashPaths(vals)], func(pos int) bool {
 		t := ix.r.tuples[pos]
 		for j, c := range ix.cols {
@@ -286,13 +332,36 @@ type prefixKey struct{ col, n int }
 
 type prefixIndex struct {
 	m    map[uint64][]int
-	upto int
+	upto atomic.Int64 // tuples[:upto] are absorbed
+}
+
+// catchUpPrefix absorbs pending tuples into one prefix index, under
+// the same synchronization scheme as Index.CatchUp.
+func (r *Relation) catchUpPrefix(ix *prefixIndex, key prefixKey) {
+	n := len(r.tuples)
+	if int(ix.upto.Load()) >= n {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := int(ix.upto.Load()); i < n; i++ {
+		p := r.tuples[i][key.col]
+		if len(p) < key.n {
+			continue
+		}
+		h := p[:key.n].Hash(value.HashSeed)
+		ix.m[h] = append(ix.m[h], i)
+	}
+	ix.upto.Store(int64(n))
 }
 
 // PrefixLookup returns the insertion positions (ascending) of the
 // tuples whose column col starts with the given non-empty prefix. A
 // separate index per (col, len(prefix)) is built lazily and caught up
 // after Adds. Collisions are verified; the returned slice is shared.
+// Like Lookup, PrefixLookup is safe from concurrent readers while the
+// relation is frozen, including the probe that first creates an index
+// for a prefix length no other goroutine has seen.
 //
 // This is the probe the evaluator uses when a join argument like
 // @y.$rest has a ground prefix under the current valuation: any
@@ -305,26 +374,54 @@ func (r *Relation) PrefixLookup(col int, prefix value.Path) []int {
 		panic("instance: empty prefix probe (caller should scan)")
 	}
 	key := prefixKey{col, len(prefix)}
-	ix, ok := r.prefixes[key]
-	if !ok {
-		ix = &prefixIndex{m: map[uint64][]int{}}
-		if r.prefixes == nil {
-			r.prefixes = map[prefixKey]*prefixIndex{}
+	r.mu.RLock()
+	ix := r.prefixes[key]
+	r.mu.RUnlock()
+	if ix == nil {
+		r.mu.Lock()
+		ix = r.prefixes[key]
+		if ix == nil {
+			ix = &prefixIndex{m: map[uint64][]int{}}
+			if r.prefixes == nil {
+				r.prefixes = map[prefixKey]*prefixIndex{}
+			}
+			r.prefixes[key] = ix
 		}
-		r.prefixes[key] = ix
+		r.mu.Unlock()
 	}
-	for ; ix.upto < len(r.tuples); ix.upto++ {
-		p := r.tuples[ix.upto][col]
-		if len(p) < key.n {
-			continue
-		}
-		h := p[:key.n].Hash(value.HashSeed)
-		ix.m[h] = append(ix.m[h], ix.upto)
-	}
+	r.catchUpPrefix(ix, key)
 	return verifyBucket(ix.m[prefix.Hash(value.HashSeed)], func(pos int) bool {
 		p := r.tuples[pos][col]
 		return len(p) >= len(prefix) && p[:len(prefix)].Equal(prefix)
 	})
+}
+
+// CatchUpIndexes absorbs pending tuples into every secondary index
+// built so far (exact and prefix). The parallel evaluator calls it on
+// each relation a round will read before fanning out, so worker probes
+// of already-known index shapes run lock-free; an index shape first
+// probed mid-round still builds safely under the internal lock.
+func (r *Relation) CatchUpIndexes() {
+	r.mu.RLock()
+	exact := make([]*Index, 0, len(r.indexes))
+	for _, ix := range r.indexes {
+		exact = append(exact, ix)
+	}
+	type keyedPrefix struct {
+		key prefixKey
+		ix  *prefixIndex
+	}
+	pref := make([]keyedPrefix, 0, len(r.prefixes))
+	for key, ix := range r.prefixes {
+		pref = append(pref, keyedPrefix{key, ix})
+	}
+	r.mu.RUnlock()
+	for _, ix := range exact {
+		ix.CatchUp()
+	}
+	for _, p := range pref {
+		r.catchUpPrefix(p.ix, p.key)
+	}
 }
 
 // Instance assigns finite relations to relation names (paper §2.1).

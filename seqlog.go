@@ -7,7 +7,9 @@
 //
 //   - the sequence data model (atoms, packed values, paths) and a
 //     parser for programs and instances (§2);
-//   - a stratified, semi-naive evaluator with termination guards (§2.3);
+//   - a stratified, semi-naive evaluator with termination guards
+//     (§2.3), hash-indexed joins chosen by a binding-aware planner,
+//     and optional intra-round parallelism (Limits.Parallelism);
 //   - associative unification for path-expression equations — pig-pug
 //     with the paper's extensions (§4.3, Figure 2);
 //   - every redundancy theorem as an executable program transformation:
@@ -101,7 +103,12 @@ func MustParseInstance(src string) *Instance { return parser.MustParseInstance(s
 // ParsePath parses a ground path like "a.<b.c>.d".
 func ParsePath(src string) (Path, error) { return parser.ParsePath(src) }
 
-// Evaluation (§2.3).
+// Limits bounds and configures an evaluation (§2.3): MaxFacts,
+// MaxIterations and MaxPathLen turn runaway evaluations into
+// ErrNonTermination, and Parallelism sets the number of worker
+// goroutines per fixpoint round (0 or 1 sequential, N > 1 a pool of N,
+// negative all CPUs). The zero value uses defaults: generous bounds,
+// sequential evaluation.
 type Limits = eval.Limits
 
 // ErrNonTermination reports evaluation exceeding its limits.

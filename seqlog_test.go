@@ -43,6 +43,49 @@ func TestFacadeRewrite(t *testing.T) {
 	}
 }
 
+// TestFacadeParallelEvaluation exercises the Parallelism knob through
+// the public surface: parallel and sequential evaluation agree on a
+// recursive query, and the deterministic PlanResult stats (Steps,
+// Achieved, JoinPlan) of a fragment rewrite are bit-identical across
+// repeated runs interleaved with parallel evaluations.
+func TestFacadeParallelEvaluation(t *testing.T) {
+	prog := MustParse(`
+T(@x.@y) :- R(@x.@y).
+T(@x.@z) :- T(@x.@y), R(@y.@z).`)
+	edb := MustParseInstance(`R(a.b). R(b.c). R(c.d). R(d.a). R(b.d).`)
+	seq, err := Eval(prog, edb, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first PlanResult
+	for i := 0; i < 10; i++ {
+		par, err := Eval(prog, edb, Limits{Parallelism: 8})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !par.Equal(seq) {
+			t.Fatalf("run %d: parallel evaluation diverged from sequential", i)
+		}
+		res, err := RewriteTo(prog, "T", Frag("AEINPR"))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if i == 0 {
+			first = res
+			continue
+		}
+		if res.Achieved != first.Achieved || len(res.Steps) != len(first.Steps) ||
+			len(res.JoinPlan) != len(first.JoinPlan) {
+			t.Fatalf("run %d: PlanResult stats drifted: %+v vs %+v", i, res, first)
+		}
+		for j := range res.JoinPlan {
+			if res.JoinPlan[j] != first.JoinPlan[j] {
+				t.Fatalf("run %d: join plan %d drifted: %q vs %q", i, j, res.JoinPlan[j], first.JoinPlan[j])
+			}
+		}
+	}
+}
+
 func TestFacadeAlgebra(t *testing.T) {
 	prog := MustParse(`S($x) :- R(a.$x.b).`)
 	e, err := CompileAlgebra(prog, "S")
