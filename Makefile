@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race bench vet all
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the perf-tracked benchmarks (graphpaths transitive
+# closure, concat workload, unification, value microbenchmarks) with
+# -benchmem and writes BENCH_<date>.json (see scripts/bench.sh and
+# docs/performance.md). CI runs this target and archives the output.
+bench:
+	COUNT=$(or $(COUNT),5) scripts/bench.sh $(or $(OUT),)

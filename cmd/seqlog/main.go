@@ -18,7 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 
 	"seqlog/internal/ast"
 	"seqlog/internal/eval"
@@ -38,8 +41,38 @@ func main() {
 		list        = flag.Bool("list", false, "list the built-in paper queries")
 		showProg    = flag.Bool("show-program", false, "print the (stratified) program before evaluating")
 		explain     = flag.Bool("explain", false, "print the compiled join plan (predicate order and index usage) before evaluating")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the evaluation to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile taken after evaluation to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer addProfileFlush(func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})()
+	}
+	if *memProfile != "" {
+		defer addProfileFlush(func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "seqlog:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recent frees so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "seqlog:", err)
+			}
+		})()
+	}
 
 	if *list {
 		for _, q := range queries.All() {
@@ -147,7 +180,25 @@ func printRelation(name string, rel *instance.Relation) {
 	}
 }
 
+// profileFlushes holds the pending profile finalizers. fail() runs
+// them before os.Exit (which skips defers), so -cpuprofile and
+// -memprofile produce usable files even when evaluation errors — the
+// run one most wants to profile. addProfileFlush registers a
+// once-guarded finalizer and returns it, so the caller defers the very
+// function fail() would run and a flush can never happen twice.
+var profileFlushes []func()
+
+func addProfileFlush(f func()) func() {
+	var once sync.Once
+	wrapped := func() { once.Do(f) }
+	profileFlushes = append(profileFlushes, wrapped)
+	return wrapped
+}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "seqlog:", err)
+	for _, f := range profileFlushes {
+		f()
+	}
 	os.Exit(1)
 }

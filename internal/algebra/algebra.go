@@ -271,7 +271,7 @@ func Eval(e Expr, inst *instance.Instance) (*instance.Relation, error) {
 				continue
 			}
 			nt := append(instance.Tuple{}, t...)
-			nt[x.I-1] = pk.P
+			nt[x.I-1] = pk.Unpack()
 			out.Add(nt)
 		}
 		return out, nil

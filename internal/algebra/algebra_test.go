@@ -147,7 +147,7 @@ func randomInstancesArity(seed int64, count int, rels map[string]int, alphabet [
 					l := r.Intn(maxLen + 1)
 					p := make(value.Path, l)
 					for q := range p {
-						p[q] = value.Atom(alphabet[r.Intn(len(alphabet))])
+						p[q] = value.Intern(alphabet[r.Intn(len(alphabet))])
 					}
 					tu[k] = p
 				}

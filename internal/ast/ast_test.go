@@ -42,7 +42,7 @@ func TestExprString(t *testing.T) {
 func TestExprEvalGround(t *testing.T) {
 	e := Cat(C("a"), Packed(Cat(C("b"), C("c"))))
 	p := e.Eval()
-	want := value.Path{value.Atom("a"), value.Pack(value.PathOf("b", "c"))}
+	want := value.Path{value.Intern("a"), value.Pack(value.PathOf("b", "c"))}
 	if !p.Equal(want) {
 		t.Fatalf("Eval = %v, want %v", p, want)
 	}
@@ -55,7 +55,7 @@ func TestExprEvalGround(t *testing.T) {
 }
 
 func TestFromPathRoundtrip(t *testing.T) {
-	p := value.Path{value.Atom("a"), value.Pack(value.Path{value.Atom("b"), value.Pack(value.Epsilon)})}
+	p := value.Path{value.Intern("a"), value.Pack(value.Path{value.Intern("b"), value.Pack(value.Epsilon)})}
 	e := FromPath(p)
 	if !e.Eval().Equal(p) {
 		t.Fatalf("roundtrip failed: %v -> %s -> %v", p, e, e.Eval())
@@ -404,7 +404,7 @@ func TestCloneIndependence(t *testing.T) {
 func TestConstsCollection(t *testing.T) {
 	p := onlyAsEquation()
 	cs := p.Consts()
-	if len(cs) != 1 || cs[0] != value.Atom("a") {
+	if len(cs) != 1 || cs[0] != value.Intern("a") {
 		t.Fatalf("Consts = %v", cs)
 	}
 }

@@ -76,7 +76,7 @@ func (p Pack) String() string { return "<" + p.E.String() + ">" }
 type Expr []Term
 
 // C builds a constant term expression from an atom text.
-func C(atom string) Expr { return Expr{Const{A: value.Atom(atom)}} }
+func C(atom string) Expr { return Expr{Const{A: value.Intern(atom)}} }
 
 // A builds the expression consisting of the single atomic variable @name.
 func A(name string) Expr { return Expr{VarT{V: AVar(name)}} }
@@ -111,7 +111,7 @@ func FromPath(p value.Path) Expr {
 		case value.Atom:
 			out[i] = Const{A: x}
 		case value.Packed:
-			out[i] = Pack{E: FromPath(x.P)}
+			out[i] = Pack{E: FromPath(x.Unpack())}
 		}
 	}
 	return out
@@ -144,9 +144,10 @@ func (e Expr) appendKey(b *strings.Builder) {
 }
 
 func (c Const) appendKey(b *strings.Builder) {
+	text := c.A.Text()
 	b.WriteByte('c')
-	b.WriteString(fmt.Sprintf("%d:", len(c.A)))
-	b.WriteString(string(c.A))
+	b.WriteString(fmt.Sprintf("%d:", len(text)))
+	b.WriteString(text)
 }
 
 func (t VarT) appendKey(b *strings.Builder) {
@@ -163,6 +164,35 @@ func (p Pack) appendKey(b *strings.Builder) {
 	b.WriteByte('<')
 	p.E.appendKey(b)
 	b.WriteByte('>')
+}
+
+// Hash folds a structural hash of the expression into h, mirroring the
+// Key encoding without allocating: equal expressions hash equally, and
+// the per-kind tags keep constants, variable occurrences, and packing
+// distinct. Constants contribute their atoms' cached interned hashes;
+// distinct expressions may collide, so callers confirm with Equal.
+func (e Expr) Hash(h uint64) uint64 {
+	for _, t := range e {
+		switch x := t.(type) {
+		case Const:
+			h = value.HashWord(h, x.A.Hash())
+		case VarT:
+			if x.V.Atomic {
+				h = value.HashByte(h, 0x04)
+			} else {
+				h = value.HashByte(h, 0x05)
+			}
+			for i := 0; i < len(x.V.Name); i++ {
+				h = value.HashByte(h, x.V.Name[i])
+			}
+			h = value.HashByte(h, 0x06)
+		case Pack:
+			h = value.HashByte(h, 0x07)
+			h = x.E.Hash(h)
+			h = value.HashByte(h, 0x08)
+		}
+	}
+	return h
 }
 
 // Equal reports syntactic equality of expressions.

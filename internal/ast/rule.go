@@ -383,7 +383,7 @@ func (p Program) Consts() []value.Atom {
 	for a := range set {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sort.Slice(out, func(i, j int) bool { return out[i].Text() < out[j].Text() })
 	return out
 }
 

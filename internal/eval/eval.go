@@ -175,8 +175,9 @@ func evalStratum(stratum ast.Stratum, inst *instance.Instance, limits Limits, de
 		return m
 	}
 	workers := limits.workers()
+	hb := &headScratch{}
 	seqSink := func(head ast.Pred, env *Env) error {
-		return derive(head, env, inst, limits, derived)
+		return derive(head, env, inst, limits, derived, hb)
 	}
 
 	// Round 0: evaluate every rule against the full instance.
@@ -245,6 +246,21 @@ func evalStratum(stratum ast.Stratum, inst *instance.Instance, limits Limits, de
 // into private buffers merged at the round barrier.
 type sinkFunc func(head ast.Pred, env *Env) error
 
+// stepScratch holds the per-step reusable buffers of one plan run:
+// probe values, unbound-column projections, and negated-literal
+// evaluation results are rebuilt in place for every binding reaching
+// the step instead of being reallocated. Safe because the buffers are
+// private to the run (worker-private under the parallel protocol) and
+// nothing downstream retains them: index and membership probes compare
+// inside the call, and head tuples are copied on insert.
+type stepScratch struct {
+	vals []value.Path   // exact-index probe values (one per bound column)
+	sub  []value.Path   // unbound-column projection of a candidate tuple
+	neg  instance.Tuple // negated-predicate probe tuple
+	bufA value.Path     // ground side of equations; prefix probes
+	bufB value.Path     // right side of negated equations
+}
+
 // runPlan evaluates one rule, feeding every derivation to sink. If
 // deltaStep >= 0, the positive predicate at that step index iterates
 // only the insertion window [deltaLo, deltaHi) of its relation instead
@@ -258,7 +274,15 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 	// whose delta window covers the new facts.
 	rels := make([]*instance.Relation, len(p.steps))
 	idxs := make([]*instance.Index, len(p.steps))
+	scratch := make([]stepScratch, len(p.steps))
 	for i, s := range p.steps {
+		switch s.kind {
+		case stepPred:
+			scratch[i].vals = make([]value.Path, len(s.boundCols))
+			scratch[i].sub = make([]value.Path, len(s.unboundCols))
+		case stepNegPred:
+			scratch[i].neg = make(instance.Tuple, len(s.pred.Args))
+		}
 		if s.kind != stepPred && s.kind != stepNegPred {
 			continue
 		}
@@ -293,15 +317,16 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 			if i == deltaStep {
 				lo, hi = deltaLo, deltaHi
 			}
+			sc := &scratch[i]
 			if idxs[i] != nil {
 				// Exact probe: the ground argument positions pick the
 				// candidates; only the remaining columns need matching.
-				vals := make([]value.Path, len(s.boundCols))
+				// Probe values and projections are built in the step's
+				// reusable scratch.
 				for j, c := range s.boundCols {
-					vals[j] = env.Eval(s.pred.Args[c])
+					sc.vals[j] = env.EvalAppend(s.pred.Args[c], sc.vals[j][:0])
 				}
-				sub := make([]value.Path, len(s.unboundCols))
-				for _, pos := range idxs[i].Lookup(vals...) {
+				for _, pos := range idxs[i].Lookup(sc.vals...) {
 					if pos < lo || pos >= hi {
 						continue
 					}
@@ -310,9 +335,9 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 					} else {
 						t := rel.TupleAt(pos)
 						for j, c := range s.unboundCols {
-							sub[j] = t[c]
+							sc.sub[j] = t[c]
 						}
-						env.MatchTuple(s.unboundArgs, sub, func() { exec(i + 1) })
+						env.MatchTuple(s.unboundArgs, sc.sub, func() { exec(i + 1) })
 					}
 					if evalErr != nil {
 						return
@@ -323,7 +348,8 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 			if IndexedJoins && s.prefixCol >= 0 {
 				// Prefix probe: the ground prefix of one argument fixes
 				// a prefix of the corresponding column.
-				prefix := env.Eval(s.pred.Args[s.prefixCol][:s.prefixLen])
+				sc.bufA = env.EvalAppend(s.pred.Args[s.prefixCol][:s.prefixLen], sc.bufA[:0])
+				prefix := sc.bufA
 				if len(prefix) > 0 {
 					for _, pos := range rel.PrefixLookup(s.prefixCol, prefix) {
 						if pos < lo || pos >= hi {
@@ -344,26 +370,32 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 				}
 			}
 		case stepEq:
-			ground := env.Eval(s.ground)
-			env.Match(s.pattern, ground, func() { exec(i + 1) })
+			// The match binds pattern variables to subslices of the
+			// scratch; by the time this step runs again the match has
+			// unwound, so reuse is safe.
+			sc := &scratch[i]
+			sc.bufA = env.EvalAppend(s.ground, sc.bufA[:0])
+			env.Match(s.pattern, sc.bufA, func() { exec(i + 1) })
 		case stepNegPred:
 			// All arguments are ground by safety: a single probe of the
 			// relation's built-in full-tuple hash index. Negated
 			// relations live in earlier strata, so the resolution
 			// hoisted above cannot go stale mid-run.
+			sc := &scratch[i]
 			if rel := rels[i]; rel != nil {
-				t := make(instance.Tuple, len(s.pred.Args))
 				for k, a := range s.pred.Args {
-					t[k] = env.Eval(a)
+					sc.neg[k] = env.EvalAppend(a, sc.neg[k][:0])
 				}
-				if rel.Contains(t) {
+				if rel.Contains(sc.neg) {
 					return
 				}
 			}
 			exec(i + 1)
 		case stepNegEq:
-			l, r := env.Eval(s.ground), env.Eval(s.pattern)
-			if !l.Equal(r) {
+			sc := &scratch[i]
+			sc.bufA = env.EvalAppend(s.ground, sc.bufA[:0])
+			sc.bufB = env.EvalAppend(s.pattern, sc.bufB[:0])
+			if !sc.bufA.Equal(sc.bufB) {
 				exec(i + 1)
 			}
 		}
@@ -372,31 +404,49 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 	return evalErr
 }
 
-// buildHeadTuple instantiates the rule head under the current
-// valuation, enforcing MaxPathLen. Shared by the sequential derive and
-// the parallel bufferSink so the two evaluators cannot drift.
-func buildHeadTuple(head ast.Pred, env *Env, limits Limits) (instance.Tuple, error) {
-	t := make(instance.Tuple, len(head.Args))
-	for i, a := range head.Args {
-		p := env.Eval(a)
-		if limits.MaxPathLen > 0 && len(p) > limits.MaxPathLen {
-			return nil, fmt.Errorf("%w: derived path of length %d exceeds limit %d", ErrNonTermination, len(p), limits.MaxPathLen)
-		}
-		t[i] = p
-	}
-	return t, nil
+// headScratch owns the reusable buffers one sink uses to instantiate
+// rule heads: the tuple and its per-argument path buffers are rebuilt
+// in place for every derivation, and only tuples that turn out to be
+// new are copied into stable storage (instance.CopyTuple). In the hot
+// fixpoint rounds most derivations rediscover known facts, so most
+// derivations allocate nothing.
+type headScratch struct {
+	tuple instance.Tuple
+	bufs  []value.Path
 }
 
-func derive(head ast.Pred, env *Env, inst *instance.Instance, limits Limits, derived *int) error {
-	t, err := buildHeadTuple(head, env, limits)
+// build instantiates the rule head under the current valuation into
+// the scratch, enforcing MaxPathLen. The returned tuple aliases the
+// scratch: probe with it, then CopyTuple before inserting. Shared by
+// the sequential derive and the parallel bufferSink so the two
+// evaluators cannot drift.
+func (hb *headScratch) build(head ast.Pred, env *Env, limits Limits) (instance.Tuple, error) {
+	for len(hb.bufs) < len(head.Args) {
+		hb.bufs = append(hb.bufs, nil)
+	}
+	hb.tuple = hb.tuple[:0]
+	for i, a := range head.Args {
+		hb.bufs[i] = env.EvalAppend(a, hb.bufs[i][:0])
+		if limits.MaxPathLen > 0 && len(hb.bufs[i]) > limits.MaxPathLen {
+			return nil, fmt.Errorf("%w: derived path of length %d exceeds limit %d", ErrNonTermination, len(hb.bufs[i]), limits.MaxPathLen)
+		}
+		hb.tuple = append(hb.tuple, hb.bufs[i])
+	}
+	return hb.tuple, nil
+}
+
+func derive(head ast.Pred, env *Env, inst *instance.Instance, limits Limits, derived *int, hb *headScratch) error {
+	t, err := hb.build(head, env, limits)
 	if err != nil {
 		return err
 	}
-	if inst.Ensure(head.Name, len(head.Args)).Add(t) {
-		*derived++
-		if *derived > limits.MaxFacts {
-			return fmt.Errorf("%w: more than %d derived facts", ErrNonTermination, limits.MaxFacts)
-		}
+	rel := inst.Ensure(head.Name, len(head.Args))
+	if !rel.AddFromScratch(t.Hash(), t) {
+		return nil
+	}
+	*derived++
+	if *derived > limits.MaxFacts {
+		return fmt.Errorf("%w: more than %d derived facts", ErrNonTermination, limits.MaxFacts)
 	}
 	return nil
 }

@@ -13,8 +13,15 @@ import (
 
 // Env is a mutable valuation under construction: it maps variables to
 // the paths they are bound to (atomic variables to single-atom paths).
+// An Env also owns the reusable evaluation buffers for packed
+// subexpressions, so it is private to one plan run (one worker).
 type Env struct {
 	m map[ast.Var]value.Path
+	// packBufs[d] is the reusable buffer for evaluating the contents of
+	// a packed term at nesting depth d. Pack hash-consing copies the
+	// buffer only when a packed value is seen for the first time, so
+	// repeated derivations of known packed values allocate nothing.
+	packBufs []value.Path
 }
 
 // NewEnv creates an empty valuation.
@@ -46,14 +53,22 @@ func (e *Env) Snapshot() map[ast.Var]value.Path {
 	return out
 }
 
-// Eval evaluates an expression under the environment; all variables
-// must be bound (guaranteed by safety + literal planning).
+// Eval evaluates an expression under the environment into a fresh
+// path; all variables must be bound (guaranteed by safety + literal
+// planning).
 func (e *Env) Eval(x ast.Expr) value.Path {
-	out := make(value.Path, 0, len(x))
-	return e.evalInto(x, out)
+	return e.evalInto(x, make(value.Path, 0, len(x)), 0)
 }
 
-func (e *Env) evalInto(x ast.Expr, out value.Path) value.Path {
+// EvalAppend evaluates an expression under the environment, appending
+// the result to buf and returning the extended slice. Callers own buf
+// and may reuse it across calls (the evaluator's per-step and per-head
+// scratch buffers); nothing in the engine retains the slice.
+func (e *Env) EvalAppend(x ast.Expr, buf value.Path) value.Path {
+	return e.evalInto(x, buf, 0)
+}
+
+func (e *Env) evalInto(x ast.Expr, out value.Path, depth int) value.Path {
 	for _, t := range x {
 		switch it := t.(type) {
 		case ast.Const:
@@ -65,7 +80,15 @@ func (e *Env) evalInto(x ast.Expr, out value.Path) value.Path {
 			}
 			out = append(out, p...)
 		case ast.Pack:
-			out = append(out, value.Pack(e.evalInto(it.E, nil)))
+			// Evaluate the packed contents into the depth-d scratch
+			// buffer; Pack copies it only on a hash-consing miss, so the
+			// buffer is free for the next packed sibling immediately.
+			for depth >= len(e.packBufs) {
+				e.packBufs = append(e.packBufs, nil)
+			}
+			inner := e.evalInto(it.E, e.packBufs[depth][:0], depth+1)
+			e.packBufs[depth] = inner
+			out = append(out, value.Pack(inner))
 		}
 	}
 	return out
@@ -119,7 +142,7 @@ func (e *Env) matchSeq(items []ast.Term, p value.Path, cont func()) {
 	case ast.Pack:
 		if len(p) > 0 {
 			if pk, ok := p[0].(value.Packed); ok {
-				e.matchSeq(it.E, pk.P, func() {
+				e.matchSeq(it.E, pk.Unpack(), func() {
 					e.matchSeq(rest, p[1:], cont)
 				})
 			}

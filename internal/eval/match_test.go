@@ -169,7 +169,7 @@ func TestEnvEval(t *testing.T) {
 	env.m[ast.AVar("u")] = value.PathOf("c")
 	e := ast.Cat(ast.P("x"), ast.A("u"), ast.Packed(ast.P("x")))
 	got := env.Eval(e)
-	want := value.Path{value.Atom("a"), value.Atom("b"), value.Atom("c"), value.Pack(value.PathOf("a", "b"))}
+	want := value.Path{value.Intern("a"), value.Intern("b"), value.Intern("c"), value.Pack(value.PathOf("a", "b"))}
 	if !got.Equal(want) {
 		t.Fatalf("Eval = %v, want %v", got, want)
 	}

@@ -179,8 +179,10 @@ func runRoundParallel(items []workItem, inst *instance.Instance, workers int, li
 		for _, name := range buf.Names() {
 			rel := buf.Relation(name)
 			dst := inst.Ensure(name, rel.Arity)
-			for _, t := range rel.Tuples() {
-				if dst.Add(t) {
+			for i, t := range rel.Tuples() {
+				// Reuse the hash the buffer computed when the worker
+				// derived the tuple; the merge never rehashes.
+				if dst.AddHashed(rel.HashAt(i), t) {
 					*derived++
 					if *derived > limits.MaxFacts {
 						return fmt.Errorf("%w: more than %d derived facts", ErrNonTermination, limits.MaxFacts)
@@ -202,22 +204,27 @@ var errRoundAborted = errors.New("eval: round aborted after a sibling work item 
 // never exceeds the number of genuinely new facts it contributes.
 func bufferSink(inst, buf *instance.Instance, limits Limits, budget int, stop *atomic.Bool) sinkFunc {
 	added := 0
+	hb := &headScratch{}
 	return func(head ast.Pred, env *Env) error {
 		if stop.Load() {
 			return errRoundAborted
 		}
-		t, err := buildHeadTuple(head, env, limits)
+		t, err := hb.build(head, env, limits)
 		if err != nil {
 			return err
 		}
-		if inst.Has(head.Name, t) {
+		// One hash serves both membership probes and the insert; the
+		// scratch tuple is copied only when the fact is genuinely new.
+		h := t.Hash()
+		if shared := inst.Relation(head.Name); shared != nil && shared.ContainsHashed(h, t) {
 			return nil
 		}
-		if buf.Ensure(head.Name, len(head.Args)).Add(t) {
-			added++
-			if added > budget {
-				return fmt.Errorf("%w: more than %d derived facts", ErrNonTermination, limits.MaxFacts)
-			}
+		if !buf.Ensure(head.Name, len(head.Args)).AddFromScratch(h, t) {
+			return nil
+		}
+		added++
+		if added > budget {
+			return fmt.Errorf("%w: more than %d derived facts", ErrNonTermination, limits.MaxFacts)
 		}
 		return nil
 	}

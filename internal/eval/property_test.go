@@ -16,7 +16,7 @@ func randomExpr(r *rand.Rand, depth int, linear bool, used map[ast.Var]bool) ast
 	for i := 0; i < n; i++ {
 		switch r.Intn(4) {
 		case 0:
-			e = append(e, ast.Const{A: value.Atom([]string{"a", "b"}[r.Intn(2)])})
+			e = append(e, ast.Const{A: value.Intern([]string{"a", "b"}[r.Intn(2)])})
 		case 1:
 			v := ast.PVar([]string{"x", "y", "z"}[r.Intn(3)])
 			if linear && used[v] {
@@ -45,7 +45,7 @@ func randomValuation(r *rand.Rand, vars []ast.Var) map[ast.Var]value.Path {
 	nu := map[ast.Var]value.Path{}
 	for _, v := range vars {
 		if v.Atomic {
-			nu[v] = value.Path{value.Atom([]string{"a", "b", "c"}[r.Intn(3)])}
+			nu[v] = value.Path{value.Intern([]string{"a", "b", "c"}[r.Intn(3)])}
 			continue
 		}
 		n := r.Intn(3)
@@ -54,7 +54,7 @@ func randomValuation(r *rand.Rand, vars []ast.Var) map[ast.Var]value.Path {
 			if r.Intn(5) == 0 {
 				p = append(p, value.Pack(value.PathOf("q")))
 			} else {
-				p = append(p, value.Atom([]string{"a", "b"}[r.Intn(2)]))
+				p = append(p, value.Intern([]string{"a", "b"}[r.Intn(2)]))
 			}
 		}
 		nu[v] = p

@@ -4,6 +4,7 @@
 package instance
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -122,10 +123,17 @@ func (r *Relation) lookupHashed(h uint64, t Tuple) int {
 // Add inserts a tuple; it reports whether the tuple was new.
 // Adding a tuple of the wrong arity panics: this is a programming error.
 func (r *Relation) Add(t Tuple) bool {
+	return r.AddHashed(t.Hash(), t)
+}
+
+// AddHashed is Add with the tuple's precomputed hash (h must equal
+// t.Hash()), so callers that already probed with ContainsHashed do not
+// rehash. The tuple is stored as given and must not be mutated
+// afterwards; use CopyTuple first when inserting from a scratch buffer.
+func (r *Relation) AddHashed(h uint64, t Tuple) bool {
 	if len(t) != r.Arity {
 		panic(fmt.Sprintf("instance: arity mismatch: tuple %v into arity-%d relation", t, r.Arity))
 	}
-	h := t.Hash()
 	if r.lookupHashed(h, t) >= 0 {
 		return false
 	}
@@ -138,6 +146,57 @@ func (r *Relation) Add(t Tuple) bool {
 // Contains reports membership via the full-tuple hash index.
 func (r *Relation) Contains(t Tuple) bool {
 	return r.lookupHashed(t.Hash(), t) >= 0
+}
+
+// ContainsHashed is Contains with the tuple's precomputed hash (h must
+// equal t.Hash()), for callers probing several relations — or probing
+// then inserting — without rehashing.
+func (r *Relation) ContainsHashed(h uint64, t Tuple) bool {
+	return r.lookupHashed(h, t) >= 0
+}
+
+// HashAt returns the precomputed hash of the tuple at insertion
+// position i, so bulk consumers (the parallel evaluator's round merge)
+// can re-insert tuples elsewhere without rehashing them.
+func (r *Relation) HashAt(i int) uint64 { return r.hashes[i] }
+
+// AddFromScratch inserts a copy of the scratch tuple t (whose hash h
+// must equal t.Hash()) when no equal tuple is present, reporting
+// whether it inserted. One probe serves both the membership check and
+// the insert, and CopyTuple runs only on a miss — the evaluator's
+// derivation path, where most candidate facts are rediscoveries.
+func (r *Relation) AddFromScratch(h uint64, t Tuple) bool {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("instance: arity mismatch: tuple %v into arity-%d relation", t, r.Arity))
+	}
+	if r.lookupHashed(h, t) >= 0 {
+		return false
+	}
+	r.buckets[h] = append(r.buckets[h], len(r.tuples))
+	r.tuples = append(r.tuples, CopyTuple(t))
+	r.hashes = append(r.hashes, h)
+	return true
+}
+
+// CopyTuple deep-copies a tuple into fresh storage: one backing array
+// holds all components, so a retained tuple costs at most two
+// allocations however high its arity. Values are immutable and shared.
+// The evaluator derives into reusable scratch buffers and calls
+// CopyTuple only for tuples that turn out to be new.
+func CopyTuple(t Tuple) Tuple {
+	total := 0
+	for _, p := range t {
+		total += len(p)
+	}
+	backing := make(value.Path, total)
+	out := make(Tuple, len(t))
+	off := 0
+	for i, p := range t {
+		n := copy(backing[off:off+len(p)], p)
+		out[i] = backing[off : off+n : off+n]
+		off += n
+	}
+	return out
 }
 
 // Len returns the number of tuples.
@@ -214,33 +273,43 @@ type Index struct {
 	upto atomic.Int64 // tuples[:upto] are absorbed
 }
 
+// indexSig encodes a column list as a compact map key (one uvarint per
+// column) without fmt or a strings.Builder: Index is called once per
+// (rule run, step), hot enough under parallel fan-out to matter.
+func indexSig(cols []int) string {
+	b := make([]byte, 0, 2*len(cols))
+	for _, c := range cols {
+		b = binary.AppendUvarint(b, uint64(c))
+	}
+	return string(b)
+}
+
 // Index returns the (shared, lazily maintained) index keyed on the
 // given argument positions. Positions out of range panic: schemas fix
 // arities, so this is a programming error.
 func (r *Relation) Index(cols ...int) *Index {
-	var sig strings.Builder
 	for _, c := range cols {
 		if c < 0 || c >= r.Arity {
 			panic(fmt.Sprintf("instance: index column %d out of range for arity-%d relation", c, r.Arity))
 		}
-		fmt.Fprintf(&sig, "%d,", c)
 	}
+	sig := indexSig(cols)
 	r.mu.RLock()
-	ix := r.indexes[sig.String()]
+	ix := r.indexes[sig]
 	r.mu.RUnlock()
 	if ix != nil {
 		return ix
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if ix := r.indexes[sig.String()]; ix != nil {
+	if ix := r.indexes[sig]; ix != nil {
 		return ix
 	}
 	ix = &Index{r: r, cols: append([]int(nil), cols...), m: map[uint64][]int{}}
 	if r.indexes == nil {
 		r.indexes = map[string]*Index{}
 	}
-	r.indexes[sig.String()] = ix
+	r.indexes[sig] = ix
 	return ix
 }
 

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"seqlog/internal/value"
 )
 
 type tokenKind int
@@ -88,6 +90,10 @@ func (k tokenKind) String() string {
 type token struct {
 	kind tokenKind
 	text string
+	// atom is the interned form of text, set at lex time for tokIdent
+	// and tokQuoted so downstream layers build expressions from symbol
+	// handles instead of raw strings.
+	atom value.Atom
 	line int
 	col  int
 }
@@ -183,7 +189,11 @@ func (l *lexer) tokens() ([]token, error) {
 		}
 		r := l.peek()
 		emit := func(k tokenKind, text string) {
-			out = append(out, token{kind: k, text: text, line: line, col: col})
+			tok := token{kind: k, text: text, line: line, col: col}
+			if k == tokIdent || k == tokQuoted {
+				tok.atom = value.Intern(text)
+			}
+			out = append(out, tok)
 		}
 		switch {
 		case r == '-' && l.peekAt(1) == '-' && l.peekAt(2) == '-':

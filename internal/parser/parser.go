@@ -227,7 +227,7 @@ func (p *parser) parseLiteral() (ast.Literal, error) {
 		// Must be a nullary predicate: a single bare identifier.
 		if len(e) == 1 {
 			if c, ok := e[0].(ast.Const); ok && start.kind == tokIdent {
-				return ast.Literal{Neg: neg, Atom: ast.Pred{Name: string(c.A)}}, nil
+				return ast.Literal{Neg: neg, Atom: ast.Pred{Name: c.A.Text()}}, nil
 			}
 		}
 		return ast.Literal{}, p.errf(p.cur(), "expected '=' or '!=' after expression, or a predicate")
@@ -244,7 +244,7 @@ func (p *parser) parseExpr() (ast.Expr, error) {
 			p.next()
 		case tokIdent, tokQuoted:
 			p.next()
-			e = append(e, ast.Const{A: value.Atom(t.text)})
+			e = append(e, ast.Const{A: t.atom})
 		case tokAtomVar:
 			p.next()
 			e = append(e, ast.VarT{V: ast.AVar(t.text)})

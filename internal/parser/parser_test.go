@@ -147,7 +147,7 @@ func TestParseQuotedAtoms(t *testing.T) {
 		t.Fatal(err)
 	}
 	arg := prog.Rules()[0].Body[0].Atom.(ast.Pred).Args[0]
-	if c, ok := arg[0].(ast.Const); !ok || c.A != "complete order" {
+	if c, ok := arg[0].(ast.Const); !ok || c.A != value.Intern("complete order") {
 		t.Fatalf("quoted atom parsed as %v", arg[0])
 	}
 }
@@ -223,7 +223,7 @@ T(a.<b.c>.d).
 	if inst.Relation("A").Arity != 0 || inst.Relation("A").Len() != 1 {
 		t.Fatal("nullary fact broken")
 	}
-	want := value.Path{value.Atom("a"), value.Pack(value.PathOf("b", "c")), value.Atom("d")}
+	want := value.Path{value.Intern("a"), value.Pack(value.PathOf("b", "c")), value.Intern("d")}
 	if !inst.Has("T", []value.Path{want}) {
 		t.Fatalf("packed fact missing; have %s", inst)
 	}

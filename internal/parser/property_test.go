@@ -36,7 +36,7 @@ func randomExprP(r *rand.Rand, depth int) ast.Expr {
 	for i := 0; i < n; i++ {
 		switch r.Intn(5) {
 		case 0:
-			e = append(e, ast.Const{A: value.Atom([]string{"a", "b", "complete order", "x_1", "eps"}[r.Intn(5)])})
+			e = append(e, ast.Const{A: value.Intern([]string{"a", "b", "complete order", "x_1", "eps"}[r.Intn(5)])})
 		case 1:
 			e = append(e, ast.VarT{V: ast.PVar([]string{"x", "y"}[r.Intn(2)])})
 		case 2:
@@ -46,7 +46,7 @@ func randomExprP(r *rand.Rand, depth int) ast.Expr {
 				e = append(e, ast.Pack{E: randomExprP(r, depth-1)})
 			}
 		case 4:
-			e = append(e, ast.Const{A: value.Atom("0")})
+			e = append(e, ast.Const{A: value.Intern("0")})
 		}
 	}
 	return e
@@ -84,7 +84,7 @@ func TestPathPrintParseRoundtrip(t *testing.T) {
 			if depth > 0 && r.Intn(4) == 0 {
 				p = append(p, value.Pack(build(depth-1)))
 			} else {
-				p = append(p, value.Atom([]string{"a", "b c", "0", "d.e", "'q'", "eps"}[r.Intn(6)]))
+				p = append(p, value.Intern([]string{"a", "b c", "0", "d.e", "'q'", "eps"}[r.Intn(6)]))
 			}
 		}
 		return p

@@ -98,7 +98,7 @@ func TestNFAAcceptEvenBs(t *testing.T) {
 	for _, tu := range edb.Relation("R").Tuples() {
 		bs := 0
 		for _, v := range tu[0] {
-			if v == value.Atom("b") {
+			if v == value.Intern("b") {
 				bs++
 			}
 		}

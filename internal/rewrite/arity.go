@@ -18,7 +18,7 @@ type ArityMarkers struct {
 }
 
 // DefaultArityMarkers uses the atoms "0" and "1".
-var DefaultArityMarkers = ArityMarkers{A: "0", B: "1"}
+var DefaultArityMarkers = ArityMarkers{A: value.Intern("0"), B: value.Intern("1")}
 
 // encodePair is the Lemma 4.1 encoding at the expression level.
 func (m ArityMarkers) encodePair(e1, e2 ast.Expr) ast.Expr {

@@ -42,7 +42,7 @@ func TestEliminateArityExample43(t *testing.T) {
 T($x, eps) :- R($x).
 T($x, $y.@u) :- T($x.@u, $y).
 S($x) :- T(eps, $x).`)
-	m := ArityMarkers{A: "a", B: "b"}
+	m := ArityMarkers{A: value.Intern("a"), B: value.Intern("b")}
 	got, err := EliminateArity(prog, m)
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +113,7 @@ func TestEliminateArityRejectsBinaryEDB(t *testing.T) {
 	if _, err := EliminateArity(prog, DefaultArityMarkers); err == nil {
 		t.Fatal("binary EDB must be rejected")
 	}
-	if _, err := EliminateArity(mustParse(t, `S($x) :- R($x).`), ArityMarkers{A: "0", B: "0"}); err == nil {
+	if _, err := EliminateArity(mustParse(t, `S($x) :- R($x).`), ArityMarkers{A: value.Intern("0"), B: value.Intern("0")}); err == nil {
 		t.Fatal("identical markers must be rejected")
 	}
 }

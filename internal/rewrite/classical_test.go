@@ -23,7 +23,7 @@ func randomTwoBounded(seed int64, count int, rels []string, alphabet []string, m
 				l := 1 + r.Intn(2)
 				p := make(value.Path, l)
 				for k := range p {
-					p[k] = value.Atom(alphabet[r.Intn(len(alphabet))])
+					p[k] = value.Intern(alphabet[r.Intn(len(alphabet))])
 				}
 				inst.AddPath(rel, p)
 			}

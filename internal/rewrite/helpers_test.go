@@ -48,7 +48,7 @@ func randomFlatInstances(seed int64, count int, rels []string, alphabet []string
 				l := r.Intn(maxLen + 1)
 				p := make(value.Path, l)
 				for k := range p {
-					p[k] = value.Atom(alphabet[r.Intn(len(alphabet))])
+					p[k] = value.Intern(alphabet[r.Intn(len(alphabet))])
 				}
 				inst.AddPath(rel, p)
 			}

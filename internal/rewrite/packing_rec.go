@@ -27,7 +27,7 @@ type DoubleMarkers struct {
 
 // DefaultDoubleMarkers uses the atoms "0" and "1"; by the block-code
 // argument any two distinct atoms work, even ones occurring in data.
-var DefaultDoubleMarkers = DoubleMarkers{O: "0", C: "1"}
+var DefaultDoubleMarkers = DoubleMarkers{O: value.Intern("0"), C: value.Intern("1")}
 
 // SimulatePackingDoubled removes the P feature from an arbitrary
 // (possibly recursive) program computing a flat query, per the doubling
@@ -268,7 +268,7 @@ func EncodeDoubledPath(p value.Path, m DoubleMarkers) value.Path {
 			out = append(out, x, x)
 		case value.Packed:
 			out = append(out, m.O, m.C)
-			out = append(out, EncodeDoubledPath(x.P, m)...)
+			out = append(out, EncodeDoubledPath(x.Unpack(), m)...)
 			out = append(out, m.C, m.O)
 		}
 	}

@@ -204,7 +204,7 @@ func TestDoubledPathCodec(t *testing.T) {
 		value.PathOf("a", "b"),
 		value.PathOf("0", "1"), // data colliding with markers
 		{value.Pack(value.PathOf("a"))},
-		{value.Atom("a"), value.Pack(value.Path{value.Pack(value.Epsilon)}), value.Atom("b")},
+		{value.Intern("a"), value.Pack(value.Path{value.Pack(value.Epsilon)}), value.Intern("b")},
 		{value.Pack(value.PathOf("0", "1"))},
 	}
 	seen := map[string]bool{}
@@ -276,7 +276,7 @@ func TestSimulatePackingDoubledRejections(t *testing.T) {
 	if _, err := SimulatePackingDoubled(eq, "S", DefaultDoubleMarkers); err == nil {
 		t.Fatal("equations must be rejected")
 	}
-	if _, err := SimulatePackingDoubled(mustParse(t, `S($x) :- R($x).`), "S", DoubleMarkers{O: "0", C: "0"}); err == nil {
+	if _, err := SimulatePackingDoubled(mustParse(t, `S($x) :- R($x).`), "S", DoubleMarkers{O: value.Intern("0"), C: value.Intern("0")}); err == nil {
 		t.Fatal("identical markers must be rejected")
 	}
 	if _, err := SimulatePackingDoubled(mustParse(t, `S($x) :- R($x).`), "Z", DefaultDoubleMarkers); err == nil {

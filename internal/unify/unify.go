@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"seqlog/internal/ast"
+	"seqlog/internal/value"
 )
 
 // Equation is e1 = e2 over path expressions.
@@ -28,7 +29,23 @@ type Equation struct {
 // String renders the equation.
 func (e Equation) String() string { return e.L.String() + " = " + e.R.String() }
 
+// key is the canonical injective string encoding of the equation. It is
+// only used for the Figure-2 graph node table (cold path, CollectGraph
+// only); the memoization of explore uses the allocation-free hash below
+// with structural-equality collision confirmation.
 func (e Equation) key() string { return e.L.Key() + "\x00" + e.R.Key() }
+
+// hash folds a structural hash of both sides, using the interned cached
+// hashes of the expressions' constants. Distinct equations may collide;
+// confirm with Equal.
+func (e Equation) hash() uint64 {
+	h := e.L.Hash(value.HashSeed)
+	h = value.HashByte(h, 0x1e)
+	return e.R.Hash(h)
+}
+
+// Equal reports syntactic equality of equations.
+func (e Equation) Equal(f Equation) bool { return e.L.Equal(f.L) && e.R.Equal(f.R) }
 
 // Vars returns the variables of the equation in first-occurrence order.
 func (e Equation) Vars() []ast.Var {
@@ -166,23 +183,37 @@ func Solve(eq Equation, opts Options) Result {
 }
 
 type solver struct {
-	opts     Options
-	states   map[string]*stateInfo
-	order    []string
+	opts Options
+	// states memoizes explored equations, bucketed by structural hash
+	// with Equal confirming collisions — no canonical Key() strings are
+	// built on the hot path.
+	states   map[uint64][]*stateInfo
+	nstates  int
 	complete bool
 	graph    *Graph
 	nodeIDs  map[string]int
 }
 
 type stateInfo struct {
+	eq     Equation
 	status int // 0 = in progress, 1 = done
 	sols   []ast.Subst
+}
+
+// lookup returns the memo entry for eq in the bucket h, or nil.
+func (s *solver) lookup(h uint64, eq Equation) *stateInfo {
+	for _, info := range s.states[h] {
+		if info.eq.Equal(eq) {
+			return info
+		}
+	}
+	return nil
 }
 
 func solveNonempty(eq Equation, opts Options) Result {
 	s := &solver{
 		opts:     opts,
-		states:   map[string]*stateInfo{},
+		states:   map[uint64][]*stateInfo{},
 		complete: true,
 	}
 	if opts.CollectGraph {
@@ -196,7 +227,7 @@ func solveNonempty(eq Equation, opts Options) Result {
 	return Result{
 		Solutions: out,
 		Complete:  s.complete,
-		States:    len(s.states),
+		States:    s.nstates,
 		Graph:     s.graph,
 	}
 }
@@ -223,8 +254,8 @@ func (s *solver) node(eq Equation, success, fail bool) int {
 
 // explore returns the (possibly memoized) solutions reachable from eq.
 func (s *solver) explore(eq Equation) []ast.Subst {
-	k := eq.key()
-	if info, ok := s.states[k]; ok {
+	h := eq.hash()
+	if info := s.lookup(h, eq); info != nil {
 		if info.status == 0 {
 			// Cycle: the rewrite system does not terminate from here.
 			s.complete = false
@@ -232,12 +263,13 @@ func (s *solver) explore(eq Equation) []ast.Subst {
 		}
 		return info.sols
 	}
-	if len(s.states) >= s.opts.MaxStates {
+	if s.nstates >= s.opts.MaxStates {
 		s.complete = false
 		return nil
 	}
-	info := &stateInfo{}
-	s.states[k] = info
+	info := &stateInfo{eq: eq}
+	s.states[h] = append(s.states[h], info)
+	s.nstates++
 
 	edges, leaf := s.children(eq)
 	from := s.node(eq, leaf == leafSuccess, leaf == leafFail)

@@ -235,7 +235,7 @@ func randomGroundPath(r *rand.Rand, maxLen int) value.Path {
 	n := r.Intn(maxLen + 1)
 	p := make(value.Path, n)
 	for i := range p {
-		p[i] = value.Atom([]string{"a", "b"}[r.Intn(2)])
+		p[i] = value.Intern([]string{"a", "b"}[r.Intn(2)])
 	}
 	return p
 }
@@ -280,7 +280,7 @@ func TestCompletenessSampling(t *testing.T) {
 			sub := ast.Subst{}
 			for _, v := range vars {
 				if v.Atomic {
-					p := value.Path{value.Atom([]string{"a", "b"}[r.Intn(2)])}
+					p := value.Path{value.Intern([]string{"a", "b"}[r.Intn(2)])}
 					nu[v] = p
 					sub[v] = ast.FromPath(p)
 				} else {

@@ -2,9 +2,12 @@
 // Section 2.1 of "Expressiveness within Sequence Datalog" (PODS 2021):
 // atomic values, packed values, and paths (finite sequences of values).
 //
-// Values are immutable by convention: no function in this module mutates
-// a Path it did not create, and callers must not mutate paths after
-// handing them to the engine.
+// Values are immutable and interned: atom texts live in a global symbol
+// table (equality is Sym comparison), packed values are hash-consed
+// (equality is pointer comparison), and every value carries a
+// precomputed structural hash (see intern.go). No function in this
+// module mutates a Path it did not create, and callers must not mutate
+// paths after handing them to the engine.
 package value
 
 import (
@@ -37,29 +40,67 @@ const (
 	KindPacked
 )
 
-// Atom is an atomic data element from the countably infinite universe dom.
-type Atom string
+// Atom is an atomic data element from the countably infinite universe
+// dom, represented as a handle into the global symbol table: equal
+// texts intern to equal Syms, so == on Atoms is text equality. The zero
+// Atom is the empty atom ''. Construct Atoms with Intern (or PathOf).
+type Atom struct {
+	sym Sym
+}
 
 // Kind implements Value.
 func (Atom) Kind() Kind { return KindAtom }
 
+// Sym returns the atom's dense symbol-table ID.
+func (a Atom) Sym() Sym { return a.sym }
+
+// Text returns the atom's text.
+func (a Atom) Text() string { return symtab.entry(a.sym).text }
+
+// Hash returns the atom's precomputed structural hash (computed once at
+// interning time; a table lookup afterwards).
+func (a Atom) Hash() uint64 { return symtab.entry(a.sym).hash }
+
 // String implements Value.
-func (a Atom) String() string { return renderAtom(string(a)) }
+func (a Atom) String() string { return renderAtom(a.Text()) }
 
 // Packed is a packed value <p>: a path temporarily treated as atomic
-// (the P feature of the paper).
+// (the P feature of the paper). Packed values are hash-consed by Pack:
+// structurally equal packed values share one canonical node, so for
+// Pack-constructed values == is structural equality and hashing is a
+// field read. The zero Packed behaves as <eps> but holds no node, so
+// it is == only to itself; compare with Equal (which normalizes it),
+// or construct through Pack everywhere.
 type Packed struct {
-	P Path
+	n *packedNode
+}
+
+// epsNode backs the zero Packed, so value.Packed{} behaves as <eps>.
+// Initialized in an init func to break the Pack→Hash→node cycle the
+// compiler would otherwise see in a package-level initializer.
+var epsNode *packedNode
+
+func init() { epsNode = Pack(Epsilon).n }
+
+func (p Packed) node() *packedNode {
+	if p.n == nil {
+		return epsNode
+	}
+	return p.n
 }
 
 // Kind implements Value.
 func (Packed) Kind() Kind { return KindPacked }
 
-// String implements Value.
-func (p Packed) String() string { return "<" + p.P.String() + ">" }
+// Unpack returns the packed path. The path is shared with the canonical
+// node and must not be mutated.
+func (p Packed) Unpack() Path { return p.node().path }
 
-// Pack wraps a path into a packed value.
-func Pack(p Path) Packed { return Packed{P: p} }
+// Hash returns the packed value's precomputed structural hash.
+func (p Packed) Hash() uint64 { return p.node().hash }
+
+// String implements Value.
+func (p Packed) String() string { return "<" + p.Unpack().String() + ">" }
 
 // Path is a finite sequence of values. The empty path is the paper's ε.
 type Path []Value
@@ -71,7 +112,7 @@ var Epsilon = Path{}
 func PathOf(atoms ...string) Path {
 	p := make(Path, len(atoms))
 	for i, a := range atoms {
-		p[i] = Atom(a)
+		p[i] = Intern(a)
 	}
 	return p
 }
@@ -143,8 +184,9 @@ func (p Path) appendKey(b *strings.Builder) {
 func (a Atom) appendKey(b *strings.Builder) {
 	// Escape the structural bytes so the encoding stays injective even
 	// when atoms contain '.', '<', '>' or '\'.
-	for i := 0; i < len(a); i++ {
-		switch c := a[i]; c {
+	s := a.Text()
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
 		case '.', '<', '>', '\\':
 			b.WriteByte('\\')
 			b.WriteByte(c)
@@ -159,7 +201,7 @@ func (a Atom) appendKey(b *strings.Builder) {
 
 func (p Packed) appendKey(b *strings.Builder) {
 	b.WriteByte('<')
-	p.P.appendKey(b)
+	p.Unpack().appendKey(b)
 	b.WriteByte('>')
 }
 
@@ -174,29 +216,32 @@ const hashPrime uint64 = 1099511628211
 // their own structural separators with path hashes.
 func HashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * hashPrime }
 
-// Hash folds the path into a running FNV-1a hash seeded with h
-// (HashSeed for a fresh hash). The encoding mirrors appendKey: equal
-// paths always hash equally, and the structural tags keep e.g. the atom
-// path a.b distinct from the packed value <a.b>. Collisions between
-// distinct paths are possible; callers must confirm with Equal.
+// HashWord folds a full 64-bit word (e.g. a value's cached structural
+// hash) into a running hash, one multiply instead of one per byte.
+func HashWord(h, w uint64) uint64 { return (h ^ w) * hashPrime }
+
+// Hash folds the path into a running hash seeded with h (HashSeed for a
+// fresh hash). Each element contributes its cached structural hash —
+// atoms from the symbol table, packed values from their hash-consed
+// node — so hashing never re-walks value bytes. Equal paths always hash
+// equally, and the per-kind tags keep e.g. the atom path a.b distinct
+// from the packed value <a.b>. Collisions between distinct paths are
+// possible; callers must confirm with Equal.
 func (p Path) Hash(h uint64) uint64 {
 	for _, v := range p {
 		switch x := v.(type) {
 		case Atom:
-			h = HashByte(h, 0x01)
-			for i := 0; i < len(x); i++ {
-				h = HashByte(h, x[i])
-			}
+			h = HashWord(h, x.Hash())
 		case Packed:
-			h = HashByte(h, 0x02)
-			h = x.P.Hash(h)
-			h = HashByte(h, 0x03)
+			h = HashWord(h, x.Hash())
 		}
 	}
 	return h
 }
 
-// Equal reports whether two values are the same value.
+// Equal reports whether two values are the same value. Interning makes
+// this O(1): Sym comparison for atoms, canonical-node pointer
+// comparison for packed values.
 func Equal(v, w Value) bool {
 	switch x := v.(type) {
 	case Atom:
@@ -204,7 +249,7 @@ func Equal(v, w Value) bool {
 		return ok && x == y
 	case Packed:
 		y, ok := w.(Packed)
-		return ok && x.P.Equal(y.P)
+		return ok && x.node() == y.node()
 	}
 	return false
 }
@@ -223,17 +268,24 @@ func (p Path) Equal(q Path) bool {
 }
 
 // Compare totally orders values: atoms before packed values; atoms by
-// string order; packed values by their paths.
+// text order; packed values by their paths. Equal values short-circuit
+// on interned identity before any text is compared.
 func Compare(v, w Value) int {
 	switch x := v.(type) {
 	case Atom:
 		if y, ok := w.(Atom); ok {
-			return strings.Compare(string(x), string(y))
+			if x == y {
+				return 0
+			}
+			return strings.Compare(x.Text(), y.Text())
 		}
 		return -1
 	case Packed:
 		if y, ok := w.(Packed); ok {
-			return x.P.Compare(y.P)
+			if x.node() == y.node() {
+				return 0
+			}
+			return x.Unpack().Compare(y.Unpack())
 		}
 		return 1
 	}
@@ -273,17 +325,18 @@ func (p Path) IsFlat() bool {
 }
 
 // PackingDepth returns the maximum packing nesting depth in the path
-// (0 for flat paths).
+// (0 for flat paths). Depths are cached on the hash-consed nodes, so
+// this is one field read per top-level packed value.
 func (p Path) PackingDepth() int {
-	d := 0
+	d := int32(0)
 	for _, v := range p {
 		if pk, ok := v.(Packed); ok {
-			if dd := pk.P.PackingDepth() + 1; dd > d {
+			if dd := pk.node().depth; dd > d {
 				d = dd
 			}
 		}
 	}
-	return d
+	return int(d)
 }
 
 // Clone returns a copy of the path sharing its (immutable) values.
@@ -294,7 +347,7 @@ func (p Path) Clone() Path {
 }
 
 // Atoms collects the distinct atomic values occurring anywhere in the
-// path (including inside packed values), in sorted order.
+// path (including inside packed values), in text-sorted order.
 func (p Path) Atoms() []Atom {
 	set := map[Atom]struct{}{}
 	p.collectAtoms(set)
@@ -302,7 +355,7 @@ func (p Path) Atoms() []Atom {
 	for a := range set {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sort.Slice(out, func(i, j int) bool { return out[i].Text() < out[j].Text() })
 	return out
 }
 
@@ -312,7 +365,7 @@ func (p Path) collectAtoms(set map[Atom]struct{}) {
 		case Atom:
 			set[x] = struct{}{}
 		case Packed:
-			x.P.collectAtoms(set)
+			x.Unpack().collectAtoms(set)
 		}
 	}
 }
@@ -320,9 +373,10 @@ func (p Path) collectAtoms(set map[Atom]struct{}) {
 // Repeat returns the path consisting of n copies of atom a (the a^n
 // strings used throughout Section 5).
 func Repeat(a string, n int) Path {
+	at := Intern(a)
 	p := make(Path, n)
 	for i := range p {
-		p[i] = Atom(a)
+		p[i] = at
 	}
 	return p
 }

@@ -19,7 +19,7 @@ func TestPathOfAndString(t *testing.T) {
 
 func TestPackedString(t *testing.T) {
 	// c·<a·b·a> from the paper's §2.1 example.
-	p := Path{Atom("c"), Pack(PathOf("a", "b", "a"))}
+	p := Path{Intern("c"), Pack(PathOf("a", "b", "a"))}
 	if got := p.String(); got != "c.<a.b.a>" {
 		t.Fatalf("String = %q", got)
 	}
@@ -56,8 +56,8 @@ func TestKeyInjective(t *testing.T) {
 		PathOf(""),
 		Epsilon,
 		Path{Pack(PathOf("a", "b"))},
-		Path{Pack(PathOf("a")), Atom("b")},
-		Path{Atom("a"), Pack(PathOf("b"))},
+		Path{Pack(PathOf("a")), Intern("b")},
+		Path{Intern("a"), Pack(PathOf("b"))},
 		Path{Pack(Epsilon)},
 		Path{Pack(Path{Pack(Epsilon)})},
 		PathOf("<a>"),
@@ -82,7 +82,7 @@ func randomPath(r *rand.Rand, depth int) Path {
 		if depth > 0 && r.Intn(4) == 0 {
 			p = append(p, Pack(randomPath(r, depth-1)))
 		} else {
-			p = append(p, Atom(alphabet[r.Intn(len(alphabet))]))
+			p = append(p, Intern(alphabet[r.Intn(len(alphabet))]))
 		}
 	}
 	return p
@@ -142,7 +142,7 @@ func TestIsFlat(t *testing.T) {
 	if !PathOf("a", "b").IsFlat() {
 		t.Error("flat path reported as not flat")
 	}
-	if (Path{Atom("a"), Pack(PathOf("b"))}).IsFlat() {
+	if (Path{Intern("a"), Pack(PathOf("b"))}).IsFlat() {
 		t.Error("packed path reported flat")
 	}
 	if !Epsilon.IsFlat() {
@@ -168,16 +168,16 @@ func TestConcat(t *testing.T) {
 	// Concat must not alias inputs.
 	q := PathOf("x")
 	c := Concat(q)
-	c[0] = Atom("y")
-	if q[0] != Atom("x") {
+	c[0] = Intern("y")
+	if q[0] != Intern("x") {
 		t.Fatal("Concat aliased its input")
 	}
 }
 
 func TestAtoms(t *testing.T) {
-	p := Path{Atom("b"), Pack(Path{Atom("a"), Pack(PathOf("c"))}), Atom("a")}
+	p := Path{Intern("b"), Pack(Path{Intern("a"), Pack(PathOf("c"))}), Intern("a")}
 	got := p.Atoms()
-	want := []Atom{"a", "b", "c"}
+	want := []Atom{Intern("a"), Intern("b"), Intern("c")}
 	if len(got) != len(want) {
 		t.Fatalf("Atoms = %v", got)
 	}
@@ -201,7 +201,7 @@ func TestQuickKeyRoundtripLength(t *testing.T) {
 	// Property: appending a value changes the key.
 	f := func(s string, n uint8) bool {
 		p := Repeat("a", int(n%8))
-		q := Concat(p, Path{Atom(s)})
+		q := Concat(p, Path{Intern(s)})
 		return p.Key() != q.Key()
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -210,13 +210,13 @@ func TestQuickKeyRoundtripLength(t *testing.T) {
 }
 
 func TestSingletonAndClone(t *testing.T) {
-	p := Singleton(Atom("v"))
-	if len(p) != 1 || p[0] != Atom("v") {
+	p := Singleton(Intern("v"))
+	if len(p) != 1 || p[0] != Intern("v") {
 		t.Fatal("Singleton broken")
 	}
 	c := p.Clone()
-	c[0] = Atom("w")
-	if p[0] != Atom("v") {
+	c[0] = Intern("w")
+	if p[0] != Intern("v") {
 		t.Fatal("Clone aliases")
 	}
 }

@@ -35,7 +35,7 @@ func Strings(seed int64, rel string, count, length int, alphabet []string) *inst
 	for i := 0; i < count; i++ {
 		p := make(value.Path, length)
 		for k := range p {
-			p[k] = value.Atom(alphabet[r.Intn(len(alphabet))])
+			p[k] = value.Intern(alphabet[r.Intn(len(alphabet))])
 		}
 		inst.AddPath(rel, p)
 	}
@@ -51,10 +51,10 @@ func OnlyAs(seed int64, rel string, count, length int) *instance.Instance {
 	for i := 0; i < count; i++ {
 		p := make(value.Path, length)
 		for k := range p {
-			p[k] = value.Atom("a")
+			p[k] = value.Intern("a")
 		}
 		if i%2 == 1 && length > 0 {
-			p[r.Intn(length)] = value.Atom("b")
+			p[r.Intn(length)] = value.Intern("b")
 		}
 		inst.AddPath(rel, p)
 	}
@@ -135,11 +135,11 @@ func EventLogs(seed int64, rel string, count, length int) *instance.Instance {
 	for i := 0; i < count; i++ {
 		p := make(value.Path, length)
 		for k := range p {
-			p[k] = value.Atom(events[r.Intn(len(events))])
+			p[k] = value.Intern(events[r.Intn(len(events))])
 		}
 		if i%2 == 0 && length > 0 {
 			// Make the log compliant: append a receive payment.
-			p[length-1] = value.Atom("receive payment")
+			p[length-1] = value.Intern("receive payment")
 		}
 		inst.AddPath(rel, p)
 	}
@@ -183,7 +183,7 @@ func SubstringHaystack(seed int64, length, needles, needleLen int) *instance.Ins
 	inst.Ensure("S", 1)
 	hay := make(value.Path, length)
 	for i := range hay {
-		hay[i] = value.Atom(alphabet[r.Intn(len(alphabet))])
+		hay[i] = value.Intern(alphabet[r.Intn(len(alphabet))])
 	}
 	inst.AddPath("R", hay)
 	for i := 0; i < needles; i++ {
@@ -206,7 +206,7 @@ func TwoJSONSets(seed int64, paths, depth int, equal bool) *instance.Instance {
 	for i := 0; i < paths; i++ {
 		p := make(value.Path, depth)
 		for k := range p {
-			p[k] = value.Atom(keys[r.Intn(len(keys))])
+			p[k] = value.Intern(keys[r.Intn(len(keys))])
 		}
 		inst.AddPath("J1", p)
 		inst.AddPath("J2", p)

@@ -38,7 +38,7 @@ func TestOnlyAsHalfPositive(t *testing.T) {
 	for _, tu := range inst.Relation("R").Tuples() {
 		good := true
 		for _, v := range tu[0] {
-			if v != value.Atom("a") {
+			if v != value.Intern("a") {
 				good = false
 			}
 		}

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# bench.sh — run the perf-tracked benchmarks (graphpaths transitive
+# closure, concat workload, unification, value microbenchmarks) with
+# -benchmem and archive the parsed results as JSON.
+#
+# Usage:  scripts/bench.sh [out.json]
+#         COUNT=5 scripts/bench.sh          # repetitions (default 5)
+#
+# The JSON output seeds the BENCH_*.json perf trajectory: CI runs this
+# script on every push and uploads the file as an artifact; committed
+# BENCH_<date>.json snapshots record the trajectory across PRs.
+set -eu
+
+count="${COUNT:-5}"
+out="${1:-BENCH_$(date +%Y-%m-%d).json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# Write then cat (no tee pipeline): under plain sh a pipe would mask a
+# failing go test behind tee's exit status and keep CI green.
+go test -run '^$' -bench 'TransitiveClosureGraph|ConcatJoin|SemiNaiveChain' \
+    -benchmem -count="$count" ./internal/eval/ > "$raw"
+go test -run '^$' -bench '.' -benchmem -count="$count" \
+    ./internal/unify/ ./internal/value/ >> "$raw"
+cat "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { printf "{\n  \"date\": \"%s\",\n  \"results\": [\n", date; sep = "" }
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    printf "%s    {\"benchmark\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $2, $3, $5, $7
+    sep = ",\n"
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" > "$out"
+
+echo "wrote $out"
