@@ -357,3 +357,73 @@ func BenchmarkDeepEqual(b *testing.B) {
 func BenchmarkSalesRegroup(b *testing.B) {
 	benchQueryOnInstance(b, "sales-by-year", workload.Sales(12, 40, 5))
 }
+
+// Acceptance workload for the serving subsystem: incremental
+// maintenance versus from-scratch re-evaluation on the 1k-edge
+// graphpaths transitive closure. The engine materializes the closure
+// once; each iteration then asserts k fresh edges (a disjoint chain
+// segment, so the consequence set is the same size every iteration)
+// and the engine derives only those consequences. The from-scratch
+// baseline re-runs the full fixpoint on the same EDB plus one new
+// edge, which is what a batch evaluator has to do per update.
+// Measured results are in docs/performance.md ("Incremental
+// maintenance").
+func BenchmarkIncrementalAssert(b *testing.B) {
+	q, _ := queries.Get("reachability")
+	prep, err := eval.Compile(q.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edb := workload.Graph(9, 200, 1000)
+	for _, k := range []int{1, 8} {
+		b.Run(fmt.Sprintf("incremental/k=%d", k), func(b *testing.B) {
+			engine, err := eval.NewEngine(prep, edb, eval.Limits{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				delta := NewInstance()
+				for j := 0; j < k; j++ {
+					delta.AddPath("R", PathOf(
+						fmt.Sprintf("f%d_%d", i, j), fmt.Sprintf("f%d_%d", i, j+1)))
+				}
+				if _, err := engine.Assert(delta); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The serving loop interleaves reads with writes: each Query
+	// freezes the relations it returns, so the next assert's first
+	// write pays one copy-on-write clone per touched relation. This
+	// variant measures that worst case (a freeze before every assert).
+	b.Run("incremental-interleaved/k=1", func(b *testing.B) {
+		engine, err := eval.NewEngine(prep, edb, eval.Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Query("T"); err != nil {
+				b.Fatal(err)
+			}
+			delta := NewInstance()
+			delta.AddPath("R", PathOf(
+				fmt.Sprintf("g%d", i), fmt.Sprintf("g%d", i+1)))
+			if _, err := engine.Assert(delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fromscratch/k=1", func(b *testing.B) {
+		full := edb.Clone()
+		full.AddPath("R", PathOf("f0", "f1"))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Eval(full, eval.Limits{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

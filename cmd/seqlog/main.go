@@ -85,16 +85,18 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Compile once: validation, stratification checks and join planning
+	// are shared by -explain and the evaluation below.
+	prep, err := eval.Compile(prog)
+	if err != nil {
+		fail(err)
+	}
 	if *showProg {
 		fmt.Print(prog.String())
 		fmt.Println("---")
 	}
 	if *explain {
-		lines, err := eval.Explain(prog)
-		if err != nil {
-			fail(err)
-		}
-		for _, l := range lines {
+		for _, l := range prep.Explain() {
 			fmt.Println(l)
 		}
 		fmt.Println("---")
@@ -114,16 +116,16 @@ func main() {
 
 	limits := eval.Limits{MaxFacts: *maxFacts, Parallelism: *workers}
 	if out != "" {
-		// eval.Query rejects output relations unknown to both the
+		// Prepared.Query rejects output relations unknown to both the
 		// program and the instance instead of printing nothing.
-		rel, err := eval.Query(prog, edb, out, limits)
+		rel, err := prep.Query(edb, out, limits)
 		if err != nil {
 			fail(err)
 		}
 		printRelation(out, rel)
 		return
 	}
-	result, err := eval.Eval(prog, edb, limits)
+	result, err := prep.Eval(edb, limits)
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,264 @@
+// Command seqlogd serves a Sequence Datalog engine over a line
+// protocol: load a program once, assert facts as they arrive, query
+// the continuously maintained materialization. It is the serving
+// counterpart of the one-shot cmd/seqlog.
+//
+// Usage:
+//
+//	seqlogd [-program prog.sdl] [-data facts.sdl] [-workers N] [-max-facts N]
+//	seqlogd -listen :7690 ...
+//
+// Without -listen the protocol runs on stdin/stdout (handy under a
+// pipe or an editor); with -listen every TCP connection speaks the
+// same protocol against one shared engine — asserts serialize through
+// the engine, queries read copy-on-write snapshots and never block
+// behind them.
+//
+// Protocol (one command per line; responses end with "ok ..." or
+// "err ..."):
+//
+//	load                  read program lines until a lone "."; compile
+//	                      and start a fresh engine (empty EDB)
+//	assert <facts>        e.g. assert E(a.b). E(b.c).
+//	query <relation>      print the relation's facts, one per line
+//	holds <relation>      print true/false
+//	stats                 engine counters
+//	explain               the compiled join plans
+//	quit                  close the connection
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+
+	"seqlog/internal/eval"
+	"seqlog/internal/instance"
+	"seqlog/internal/parser"
+)
+
+func main() {
+	var (
+		programFile = flag.String("program", "", "file holding the program to load at startup")
+		dataFile    = flag.String("data", "", "file holding the initial EDB facts")
+		maxFacts    = flag.Int("max-facts", eval.DefaultLimits.MaxFacts, "termination guard: maximum materialized derived facts")
+		workers     = flag.Int("workers", 1, "fixpoint workers per maintenance round (1 = sequential, -1 = all CPUs)")
+		listen      = flag.String("listen", "", "serve the protocol on this TCP address instead of stdin/stdout")
+	)
+	flag.Parse()
+
+	srv := &server{limits: eval.Limits{MaxFacts: *maxFacts, Parallelism: *workers}}
+	if *programFile != "" {
+		src, err := os.ReadFile(*programFile)
+		if err != nil {
+			fail(err)
+		}
+		edb := instance.New()
+		if *dataFile != "" {
+			data, err := os.ReadFile(*dataFile)
+			if err != nil {
+				fail(err)
+			}
+			edb, err = parser.ParseInstance(string(data))
+			if err != nil {
+				fail(fmt.Errorf("%s: %w", *dataFile, err))
+			}
+		}
+		if err := srv.load(string(src), edb); err != nil {
+			fail(fmt.Errorf("%s: %w", *programFile, err))
+		}
+	} else if *dataFile != "" {
+		fail(fmt.Errorf("-data requires -program (the engine is created when the program loads)"))
+	}
+
+	if *listen == "" {
+		srv.serve(os.Stdin, os.Stdout)
+		return
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "seqlogd: listening on", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fail(err)
+		}
+		go func() {
+			defer conn.Close()
+			srv.serve(conn, conn)
+		}()
+	}
+}
+
+// server holds the one engine every connection shares. The engine
+// serializes its own writers and serves reads from snapshots; the
+// server's mutex only guards swapping the engine on load.
+type server struct {
+	limits eval.Limits
+
+	mu     sync.Mutex
+	engine *eval.Engine
+}
+
+// load compiles src and replaces the served engine with a fresh one
+// over edb. Facts asserted into the previous engine are discarded:
+// loading is a reset, not a migration.
+func (s *server) load(src string, edb *instance.Instance) error {
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	prep, err := eval.Compile(prog)
+	if err != nil {
+		return err
+	}
+	e, err := eval.NewEngine(prep, edb, s.limits)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.engine = e
+	s.mu.Unlock()
+	return nil
+}
+
+// current returns the served engine, or an error when none is loaded.
+func (s *server) current() (*eval.Engine, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.engine == nil {
+		return nil, fmt.Errorf("no program loaded (use the load command or -program)")
+	}
+	return s.engine, nil
+}
+
+// serve runs the line protocol until EOF or quit. One serve loop is a
+// session; many may run concurrently against the same server.
+func (s *server) serve(r io.Reader, w io.Writer) {
+	in := bufio.NewScanner(r)
+	in.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	reply := func(format string, args ...any) {
+		fmt.Fprintf(out, format+"\n", args...)
+		out.Flush()
+	}
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch cmd {
+		case "load":
+			var prog strings.Builder
+			for in.Scan() {
+				l := in.Text()
+				if strings.TrimSpace(l) == "." {
+					break
+				}
+				prog.WriteString(l)
+				prog.WriteByte('\n')
+			}
+			if err := s.load(prog.String(), instance.New()); err != nil {
+				reply("err %v", err)
+				continue
+			}
+			reply("ok loaded")
+		case "assert":
+			e, err := s.current()
+			if err != nil {
+				reply("err %v", err)
+				continue
+			}
+			delta, err := parser.ParseInstance(rest)
+			if err != nil {
+				reply("err %v", err)
+				continue
+			}
+			stats, err := e.Assert(delta)
+			if err != nil {
+				reply("err %v", err)
+				continue
+			}
+			reply("ok asserted=%d derived=%d skipped=%d incremental=%d recomputed=%d",
+				stats.Asserted, stats.Derived, stats.StrataSkipped, stats.StrataIncremental, stats.StrataRecomputed)
+		case "query":
+			e, err := s.current()
+			if err != nil {
+				reply("err %v", err)
+				continue
+			}
+			rel, err := e.Query(rest)
+			if err != nil {
+				reply("err %v", err)
+				continue
+			}
+			for _, t := range rel.Sorted() {
+				if len(t) == 0 {
+					fmt.Fprintf(out, "%s.\n", rest)
+					continue
+				}
+				parts := make([]string, len(t))
+				for i, p := range t {
+					parts[i] = p.String()
+				}
+				fmt.Fprintf(out, "%s(%s).\n", rest, strings.Join(parts, ", "))
+			}
+			reply("ok n=%d", rel.Len())
+		case "holds":
+			e, err := s.current()
+			if err != nil {
+				reply("err %v", err)
+				continue
+			}
+			yes, err := e.Holds(rest)
+			if err != nil {
+				reply("err %v", err)
+				continue
+			}
+			reply("ok %v", yes)
+		case "stats":
+			e, err := s.current()
+			if err != nil {
+				reply("err %v", err)
+				continue
+			}
+			st := e.Stats()
+			reply("ok facts=%d derived=%d asserts=%d", st.Facts, st.Derived, st.Asserts)
+		case "explain":
+			e, err := s.current()
+			if err != nil {
+				reply("err %v", err)
+				continue
+			}
+			for _, l := range e.Prepared().Explain() {
+				fmt.Fprintln(out, l)
+			}
+			reply("ok")
+		case "quit":
+			reply("ok bye")
+			return
+		default:
+			reply("err unknown command %q (load, assert, query, holds, stats, explain, quit)", cmd)
+		}
+	}
+	// A scanner failure (e.g. a line beyond the 1 MB cap) must not kill
+	// the session silently mid-protocol: tell the client before closing.
+	if err := in.Err(); err != nil {
+		reply("err %v", err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "seqlogd:", err)
+	os.Exit(1)
+}

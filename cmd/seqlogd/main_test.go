@@ -1,0 +1,151 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"seqlog/internal/eval"
+	"seqlog/internal/instance"
+	"seqlog/internal/value"
+)
+
+// run feeds a protocol script to a fresh server session and returns
+// the full response text.
+func run(t *testing.T, srv *server, script string) string {
+	t.Helper()
+	var out strings.Builder
+	srv.serve(strings.NewReader(script), &out)
+	return out.String()
+}
+
+func TestProtocolSession(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	got := run(t, srv, `load
+T(@x.@y) :- E(@x.@y).
+T(@x.@z) :- T(@x.@y), E(@y.@z).
+.
+assert E(a.b). E(b.c).
+query T
+assert E(c.d).
+holds T
+stats
+quit
+`)
+	for _, want := range []string{
+		"ok loaded",
+		"ok asserted=2 derived=3 skipped=0 incremental=1 recomputed=0",
+		"T(a.b).\nT(a.c).\nT(b.c).\nok n=3",
+		// Asserting c->d adds paths from a, b and c: three new facts.
+		"ok asserted=1 derived=3 skipped=0 incremental=1 recomputed=0",
+		"ok true",
+		"ok facts=9 derived=6 asserts=2",
+		"ok bye",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("response missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	got := run(t, srv, "query T\n")
+	if !strings.Contains(got, "err no program loaded") {
+		t.Fatalf("query before load: %q", got)
+	}
+	got = run(t, srv, `load
+S($x) :- R($x).
+.
+assert S(a).
+query Nope
+bogus
+`)
+	for _, want := range []string{
+		"err eval: cannot assert into IDB relation",
+		"err eval: unknown output relation",
+		"err unknown command",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("response missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestConcurrentSessionsShareEngine(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	if out := run(t, srv, "load\nT(@x.@y) :- E(@x.@y).\nT(@x.@z) :- T(@x.@y), E(@y.@z).\n.\n"); !strings.Contains(out, "ok loaded") {
+		t.Fatalf("load: %q", out)
+	}
+	// Writers assert disjoint chains while readers poll; all sessions
+	// share the one engine, so the final closure has every chain.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var script strings.Builder
+			for i := 0; i < 8; i++ {
+				script.WriteString("assert E(w")
+				script.WriteString(string(rune('a' + w)))
+				script.WriteString(num(i))
+				script.WriteString(".w")
+				script.WriteString(string(rune('a' + w)))
+				script.WriteString(num(i + 1))
+				script.WriteString(").\nquery T\n")
+			}
+			out := run(t, srv, script.String())
+			if strings.Contains(out, "err") {
+				panic("session error: " + out)
+			}
+		}(w)
+	}
+	wg.Wait()
+	e, err := srv.current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := e.Query("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 chains of 8 edges: 8*9/2 closure facts each.
+	if want := 4 * 8 * 9 / 2; rel.Len() != want {
+		t.Fatalf("|T| = %d, want %d", rel.Len(), want)
+	}
+}
+
+func num(i int) string { return string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+func TestLoadResets(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	run(t, srv, "load\nS($x) :- R($x).\n.\nassert R(a).\n")
+	got := run(t, srv, "load\nS($x) :- R($x).\n.\nquery S\n")
+	if !strings.Contains(got, "ok n=0") {
+		t.Fatalf("load must reset the engine:\n%s", got)
+	}
+}
+
+func TestServerLoadWithInitialData(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	edb := instance.New()
+	edb.AddPath("R", value.PathOf("a"))
+	if err := srv.load("S($x) :- R($x).", edb); err != nil {
+		t.Fatal(err)
+	}
+	got := run(t, srv, "query S\n")
+	if !strings.Contains(got, "S(a).") || !strings.Contains(got, "ok n=1") {
+		t.Fatalf("initial data not materialized:\n%s", got)
+	}
+}
+
+func TestOversizedLineReportsError(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	run(t, srv, "load\nS($x) :- R($x).\n.\n")
+	// A line beyond the scanner's 1 MB cap must produce an err reply,
+	// not a silent session death.
+	got := run(t, srv, "assert R("+strings.Repeat("a.", 1<<20)+"b).\n")
+	if !strings.Contains(got, "err ") {
+		t.Fatalf("oversized line died silently:\n%.200s", got)
+	}
+}

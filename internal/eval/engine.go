@@ -1,0 +1,406 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/instance"
+)
+
+// Engine is a persistent evaluator: a compiled program plus a live
+// materialized instance (EDB and all derived IDB facts, kept at
+// fixpoint). Where Eval is batch — re-validate, re-plan, re-derive
+// everything per call — an Engine pays compilation and the initial
+// fixpoint once and then maintains the materialization incrementally
+// as new facts arrive (Assert), serving reads from consistent
+// copy-on-write snapshots in the meantime.
+//
+// Concurrency: all Engine methods are safe for concurrent use; writes
+// (Assert) are serialized by an internal mutex, and reads (Query,
+// Holds, Snapshot, Stats) take the same mutex only long enough to
+// freeze the state they return. A snapshot, once returned, is
+// immutable and may be read by any number of goroutines while further
+// Asserts proceed.
+type Engine struct {
+	mu      sync.Mutex
+	prep    *Prepared
+	limits  Limits
+	inst    *instance.Instance
+	derived int // IDB facts currently materialized beyond the seeds
+	asserts int
+	last    AssertStats
+	// seeds holds, for every IDB relation that already had facts in the
+	// initial EDB, the frozen pre-fixpoint relation: the recompute path
+	// reinstates a seed before re-deriving, so EDB-provided facts of
+	// derived relations survive recomputation.
+	seeds map[string]*instance.Relation
+	// broken records a failed maintenance run: the materialization may
+	// be partial, so every later evaluation or read call fails fast
+	// with this error (Stats stays available for diagnostics).
+	broken error
+}
+
+// AssertStats reports what one Assert call did, stratum by stratum.
+type AssertStats struct {
+	// Asserted counts the facts of the batch that were genuinely new
+	// (already-present facts are dropped and trigger no work).
+	Asserted int
+	// Derived counts the new IDB facts materialized by this Assert,
+	// net of any facts discarded by a recomputation.
+	Derived int
+	// StrataSkipped counts strata left completely untouched because no
+	// relation they read changed.
+	StrataSkipped int
+	// StrataIncremental counts strata maintained delta-first: only the
+	// consequences of the new facts were derived.
+	StrataIncremental int
+	// StrataRecomputed counts strata re-derived from scratch because a
+	// relation they negate changed (insertions can invalidate
+	// previously derived facts there; see RecomputeFrom).
+	StrataRecomputed int
+	// RecomputeFrom is the 1-based index of the first recomputed
+	// stratum — the incremental/recompute cutoff — or 0 when the whole
+	// Assert was maintained incrementally.
+	RecomputeFrom int
+}
+
+// EngineStats is a point-in-time summary of an engine.
+type EngineStats struct {
+	// Facts is the total number of materialized facts (EDB + IDB).
+	Facts int
+	// Derived is the number of materialized IDB facts beyond any
+	// EDB-provided seeds.
+	Derived int
+	// Asserts counts completed Assert calls.
+	Asserts int
+	// LastAssert is the stats of the most recent Assert.
+	LastAssert AssertStats
+}
+
+// NewEngine compiles nothing — prep is already compiled — but runs the
+// initial fixpoint: the engine's materialized instance starts as a
+// copy-on-write snapshot of edb (the caller's instance is not copied
+// and not modified) extended with every derivable fact. A nil edb
+// means an empty one. The limits bound the engine for its lifetime;
+// MaxFacts caps the total number of materialized IDB facts across all
+// Asserts, not per call.
+func NewEngine(prep *Prepared, edb *instance.Instance, limits Limits) (*Engine, error) {
+	if edb == nil {
+		edb = instance.New()
+	}
+	e := &Engine{
+		prep:   prep,
+		limits: limits.orDefault(),
+		inst:   edb.Snapshot(),
+		seeds:  map[string]*instance.Relation{},
+	}
+	for name := range prep.idb {
+		if r := e.inst.Relation(name); r != nil {
+			e.seeds[name] = r // frozen by the snapshot above
+		}
+	}
+	for si := range prep.strata {
+		ps := &prep.strata[si]
+		if err := runStratum(ps.plans, ps.heads, e.inst, e.limits, &e.derived); err != nil {
+			return nil, fmt.Errorf("stratum %d: %w", si+1, err)
+		}
+	}
+	return e, nil
+}
+
+// Prepared returns the engine's compiled program.
+func (e *Engine) Prepared() *Prepared { return e.prep }
+
+// Snapshot returns an immutable copy-on-write snapshot of the current
+// materialization (EDB and IDB facts): a consistent state that
+// concurrent Asserts never disturb. Taking a snapshot is O(#relations)
+// — no tuple is copied. Like every other read, it fails on an engine
+// whose maintenance previously failed (the materialization would be
+// partial); Stats stays available for diagnostics.
+func (e *Engine) Snapshot() (*instance.Instance, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.broken != nil {
+		return nil, e.broken
+	}
+	return e.inst.Snapshot(), nil
+}
+
+// Query returns the materialized contents of one output relation, or
+// an empty relation of the right arity when the program names output
+// but nothing was derived. The returned relation is frozen, so it
+// stays valid (and constant) under concurrent Asserts. Unlike
+// eval.Query this does not evaluate anything: the engine is already at
+// fixpoint.
+func (e *Engine) Query(output string) (*instance.Relation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.broken != nil {
+		return nil, e.broken
+	}
+	if r := e.inst.Relation(output); r != nil {
+		r.Freeze()
+		return r, nil
+	}
+	if a, ok := e.prep.arities[output]; ok {
+		return instance.NewRelation(a), nil
+	}
+	return nil, fmt.Errorf("eval: unknown output relation %q (not defined by the program and absent from the instance)", output)
+}
+
+// Holds reports whether the nullary output relation holds in the
+// current materialization (boolean queries, §5.1.1).
+func (e *Engine) Holds(output string) (bool, error) {
+	r, err := e.Query(output)
+	if err != nil {
+		return false, err
+	}
+	return r.Len() > 0, nil
+}
+
+// Stats returns a point-in-time summary of the engine.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineStats{
+		Facts:      e.inst.Facts(),
+		Derived:    e.derived,
+		Asserts:    e.asserts,
+		LastAssert: e.last,
+	}
+}
+
+// stratum outcomes recorded while an Assert walks the program.
+const (
+	stratumSkipped = iota
+	stratumIncremental
+	stratumRecomputed
+)
+
+// Assert inserts a batch of new EDB facts and incrementally restores
+// the fixpoint: the inserted facts seed the semi-naive delta, so only
+// their consequences are derived — strata reading no changed relation
+// are skipped outright, and the cost of an Assert scales with the
+// consequences of the batch, not with the size of the materialization.
+//
+// The exception is negation: a stratum that negates a changed relation
+// cannot be maintained by insertion alone (new facts can invalidate
+// old derivations), so from the first such stratum onward the engine
+// falls back to recomputation — those strata's derived facts are
+// discarded and re-derived from scratch. The cutoff is recorded in
+// AssertStats.RecomputeFrom. Deletion-aware maintenance (DRed) is a
+// ROADMAP item.
+//
+// Facts may only be asserted into relations the program does not
+// define (non-IDB relations); arities must agree with the program and
+// the materialization. Already-present facts are dropped silently. On
+// error the engine may hold a partial materialization and refuses
+// further use, returning the same error from every later call.
+func (e *Engine) Assert(delta *instance.Instance) (AssertStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.broken != nil {
+		return AssertStats{}, e.broken
+	}
+	var stats AssertStats
+	names := delta.Names()
+	for _, name := range names {
+		r := delta.Relation(name)
+		if e.prep.idb[name] {
+			return stats, fmt.Errorf("eval: cannot assert into IDB relation %q (defined by the program; derived facts are maintained, not asserted)", name)
+		}
+		if a, ok := e.prep.arities[name]; ok && a != r.Arity {
+			return stats, fmt.Errorf("eval: asserting arity-%d tuples into relation %q used with arity %d by the program", r.Arity, name, a)
+		}
+		if cur := e.inst.Relation(name); cur != nil && cur.Arity != r.Arity {
+			return stats, fmt.Errorf("eval: asserting arity-%d tuples into existing arity-%d relation %q", r.Arity, cur.Arity, name)
+		}
+	}
+	// base records every relation's length before the batch: the delta
+	// windows [base[name], Len) drive the incremental rounds, and after
+	// each stratum they widen to cover that stratum's derivations.
+	base := map[string]int{}
+	for _, name := range e.inst.Names() {
+		base[name] = e.inst.Relation(name).Len()
+	}
+	for _, name := range names {
+		src := delta.Relation(name)
+		dst := e.inst.Ensure(name, src.Arity)
+		for i, t := range src.Tuples() {
+			// AddFromScratch probes with the caller's tuple and copies it
+			// into engine-owned storage only when genuinely new.
+			if dst.AddFromScratch(src.HashAt(i), t) {
+				stats.Asserted++
+			}
+		}
+	}
+	if stats.Asserted == 0 {
+		stats.StrataSkipped = len(e.prep.strata)
+		e.asserts++
+		e.last = stats
+		return stats, nil
+	}
+	derivedBefore := e.derived
+	outcomes := make([]int, len(e.prep.strata))
+	cutoff := -1
+	for si := range e.prep.strata {
+		ps := &e.prep.strata[si]
+		changed := e.changedSince(base)
+		if anyIn(ps.negReads, changed) {
+			cutoff = si
+			break
+		}
+		if !anyIn(ps.reads, changed) {
+			outcomes[si] = stratumSkipped
+			continue
+		}
+		if err := e.maintainStratum(ps, base); err != nil {
+			e.broken = fmt.Errorf("engine: stratum %d maintenance failed, materialization is partial: %w", si+1, err)
+			return stats, e.broken
+		}
+		outcomes[si] = stratumIncremental
+	}
+	if cutoff >= 0 {
+		// A head defined both before and after the cutoff would lose its
+		// earlier-strata derivations if dropped, so widen the cutoff to
+		// the first stratum defining any head we are about to recompute.
+		for widened := true; widened; {
+			widened = false
+			for si := cutoff; si < len(e.prep.strata); si++ {
+				for h := range e.prep.strata[si].heads {
+					if fd := e.prep.firstDef[h]; fd < cutoff {
+						cutoff = fd
+						widened = true
+					}
+				}
+			}
+		}
+		stats.RecomputeFrom = cutoff + 1
+		// Discard the materialization of every head from the cutoff on,
+		// reinstating EDB seeds, then re-derive those strata in order.
+		dropped := map[string]bool{}
+		for si := cutoff; si < len(e.prep.strata); si++ {
+			for h := range e.prep.strata[si].heads {
+				if dropped[h] {
+					continue
+				}
+				dropped[h] = true
+				r := e.inst.Relation(h)
+				if r == nil {
+					continue
+				}
+				seedLen := 0
+				if s := e.seeds[h]; s != nil {
+					seedLen = s.Len()
+				}
+				e.derived -= r.Len() - seedLen
+				if s := e.seeds[h]; s != nil {
+					e.inst.Put(h, s) // frozen; Ensure clones before writes
+				} else {
+					e.inst.Remove(h)
+				}
+			}
+		}
+		for si := cutoff; si < len(e.prep.strata); si++ {
+			ps := &e.prep.strata[si]
+			if err := runStratum(ps.plans, ps.heads, e.inst, e.limits, &e.derived); err != nil {
+				e.broken = fmt.Errorf("engine: stratum %d recomputation failed, materialization is partial: %w", si+1, err)
+				return stats, e.broken
+			}
+			outcomes[si] = stratumRecomputed
+		}
+	}
+	for _, o := range outcomes {
+		switch o {
+		case stratumSkipped:
+			stats.StrataSkipped++
+		case stratumIncremental:
+			stats.StrataIncremental++
+		case stratumRecomputed:
+			stats.StrataRecomputed++
+		}
+	}
+	stats.Derived = e.derived - derivedBefore
+	e.asserts++
+	e.last = stats
+	return stats, nil
+}
+
+// changedSince returns the set of relation names that grew since the
+// lengths recorded in base (including relations created since).
+func (e *Engine) changedSince(base map[string]int) map[string]bool {
+	changed := map[string]bool{}
+	for _, name := range e.inst.Names() {
+		if e.inst.Relation(name).Len() > base[name] {
+			changed[name] = true
+		}
+	}
+	return changed
+}
+
+func anyIn(set, changed map[string]bool) bool {
+	for name := range set {
+		if changed[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// maintainStratum restores one stratum's fixpoint incrementally. The
+// delta round mirrors semi-naive round 0 with the roles inverted:
+// instead of evaluating every rule against the full instance, each
+// rule runs once per body predicate whose relation changed, with that
+// predicate restricted to the window of new facts [base, current).
+// Any derivation missing from the materialization must use at least
+// one new fact, so these restricted runs find them all; derivations
+// re-using only old facts are exactly the ones already materialized.
+// The standard fixpoint rounds then chase the stratum-local
+// consequences.
+func (e *Engine) maintainStratum(ps *preparedStratum, base map[string]int) error {
+	inst, limits := e.inst, e.limits
+	workers := limits.workers()
+	// The windows close at the lengths observed now: facts derived
+	// during the delta round land above them and are picked up by the
+	// fixpoint rounds via prev below.
+	cur := map[string]int{}
+	for _, name := range inst.Names() {
+		cur[name] = inst.Relation(name).Len()
+	}
+	prev := localLengths(ps.heads, inst)
+	if workers > 1 {
+		var items []workItem
+		for _, p := range ps.plans {
+			for _, stepIdx := range p.predSteps {
+				name := p.steps[stepIdx].pred.Name
+				lo, hi := base[name], cur[name]
+				if hi <= lo {
+					continue
+				}
+				items = append(items, sliceWindow(p, stepIdx, lo, hi, workers)...)
+			}
+		}
+		if err := runRoundParallel(items, inst, workers, limits, &e.derived); err != nil {
+			return err
+		}
+	} else {
+		hb := &headScratch{}
+		sink := func(head ast.Pred, env *Env) error {
+			return derive(head, env, inst, limits, &e.derived, hb)
+		}
+		for _, p := range ps.plans {
+			for _, stepIdx := range p.predSteps {
+				name := p.steps[stepIdx].pred.Name
+				lo, hi := base[name], cur[name]
+				if hi <= lo {
+					continue
+				}
+				if err := runPlan(p, inst, stepIdx, lo, hi, sink); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return fixpointRounds(ps.plans, ps.heads, inst, limits, &e.derived, prev)
+}

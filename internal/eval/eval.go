@@ -67,54 +67,40 @@ func (l Limits) workers() int {
 
 // Eval computes P(I): the least instance extending edb that satisfies
 // every rule, stratum by stratum (paper §2.3). The input instance is
-// not modified. The result contains the EDB facts plus all derived IDB
-// facts.
+// not modified (its relations are shared copy-on-write with the
+// result, see Prepared.Eval). The result contains the EDB facts plus
+// all derived IDB facts.
+//
+// Eval compiles the program on every call; callers evaluating the same
+// program repeatedly should Compile once and reuse the *Prepared, or
+// keep a live materialized view with an Engine.
 func Eval(prog ast.Program, edb *instance.Instance, limits Limits) (*instance.Instance, error) {
-	limits = limits.orDefault()
-	if err := prog.Validate(); err != nil {
+	p, err := Compile(prog)
+	if err != nil {
 		return nil, err
 	}
-	inst := edb.Clone()
-	derived := 0
-	for si, stratum := range prog.Strata {
-		if err := evalStratum(stratum, inst, limits, &derived); err != nil {
-			return nil, fmt.Errorf("stratum %d: %w", si+1, err)
-		}
-	}
-	return inst, nil
+	return p.Eval(edb, limits)
 }
 
 // Query evaluates the program and returns the contents of one output
-// relation (possibly empty, with arity taken from the program). An
-// output relation unknown to both the program and the instance is an
-// error: it almost always indicates a misspelled relation name.
+// relation; see Prepared.Query. Validation, planning and arities are
+// computed once per call through the shared compile path.
 func Query(prog ast.Program, edb *instance.Instance, output string, limits Limits) (*instance.Relation, error) {
-	out, err := Eval(prog, edb, limits)
+	p, err := Compile(prog)
 	if err != nil {
 		return nil, err
 	}
-	if r := out.Relation(output); r != nil {
-		return r, nil
-	}
-	arities, err := prog.Arities()
-	if err != nil {
-		return nil, err
-	}
-	if a, ok := arities[output]; ok {
-		return instance.NewRelation(a), nil
-	}
-	return nil, fmt.Errorf("eval: unknown output relation %q (not defined by the program and absent from the instance)", output)
+	return p.Query(edb, output, limits)
 }
 
 // Holds evaluates the program and reports whether the nullary output
-// relation holds (boolean queries, §5.1.1).
+// relation holds (boolean queries, §5.1.1); see Prepared.Holds.
 func Holds(prog ast.Program, edb *instance.Instance, output string, limits Limits) (bool, error) {
-	out, err := Eval(prog, edb, limits)
+	p, err := Compile(prog)
 	if err != nil {
 		return false, err
 	}
-	r := out.Relation(output)
-	return r != nil && r.Len() > 0, nil
+	return p.Holds(edb, output, limits)
 }
 
 // Explain compiles every rule of the program and returns, in rule
@@ -122,58 +108,41 @@ func Holds(prog ast.Program, edb *instance.Instance, output string, limits Limit
 // execute: the chosen predicate order and, per predicate, the access
 // path (exact index, ground-prefix index, or scan).
 func Explain(prog ast.Program) ([]string, error) {
-	if err := prog.Validate(); err != nil {
+	p, err := Compile(prog)
+	if err != nil {
 		return nil, err
 	}
-	var out []string
-	for _, stratum := range prog.Strata {
-		for _, r := range stratum {
-			p, err := compile(r)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, p.describe())
-		}
-	}
-	return out, nil
+	return p.Explain(), nil
 }
 
-// evalStratum runs the semi-naive fixpoint of one stratum. Deltas are
-// tracked by watermark: relations are append-only, so the facts derived
-// in a round are exactly the insertion window [len before, len after),
-// iterated in place via Relation.Slice — no per-round delta instances.
+// localLengths returns the current length of every local (head)
+// relation present in the instance; absent relations are simply not in
+// the map, which reads as length 0.
+func localLengths(local map[string]bool, inst *instance.Instance) map[string]int {
+	m := make(map[string]int, len(local))
+	for name := range local {
+		if rel := inst.Relation(name); rel != nil {
+			m[name] = rel.Len()
+		}
+	}
+	return m
+}
+
+// runStratum runs the semi-naive fixpoint of one compiled stratum from
+// scratch. Deltas are tracked by watermark: relations are append-only,
+// so the facts derived in a round are exactly the insertion window
+// [len before, len after), iterated in place via Relation.Slice — no
+// per-round delta instances.
 //
 // With Limits.Parallelism > 1 each round's work — one unit per rule in
 // round 0, one per (rule, delta-restricted predicate, window slice)
 // afterwards — is fanned out across a bounded worker pool. Relations
 // are frozen during the fan-out (workers only read the shared
 // instance, deriving into private buffers) and the buffers are merged
-// single-threaded at the round barrier, deduplicated by the relations'
-// full-tuple hash indexes. Merging in work-unit order keeps the result
-// instance — including its insertion order — independent of goroutine
-// scheduling.
-func evalStratum(stratum ast.Stratum, inst *instance.Instance, limits Limits, derived *int) error {
-	plans := make([]*plan, len(stratum))
-	for i, r := range stratum {
-		p, err := compile(r)
-		if err != nil {
-			return err
-		}
-		plans[i] = p
-	}
-	local := map[string]bool{}
-	for _, r := range stratum {
-		local[r.Head.Name] = true
-	}
-	lengths := func() map[string]int {
-		m := make(map[string]int, len(local))
-		for name := range local {
-			if rel := inst.Relation(name); rel != nil {
-				m[name] = rel.Len()
-			}
-		}
-		return m
-	}
+// single-threaded at the round barrier. Merging in work-unit order
+// keeps the result instance — including its insertion order —
+// independent of goroutine scheduling.
+func runStratum(plans []*plan, local map[string]bool, inst *instance.Instance, limits Limits, derived *int) error {
 	workers := limits.workers()
 	hb := &headScratch{}
 	seqSink := func(head ast.Pred, env *Env) error {
@@ -181,7 +150,7 @@ func evalStratum(stratum ast.Stratum, inst *instance.Instance, limits Limits, de
 	}
 
 	// Round 0: evaluate every rule against the full instance.
-	prev := lengths()
+	prev := localLengths(local, inst)
 	if workers > 1 {
 		items := make([]workItem, len(plans))
 		for i, p := range plans {
@@ -197,11 +166,23 @@ func evalStratum(stratum ast.Stratum, inst *instance.Instance, limits Limits, de
 			}
 		}
 	}
-	// Semi-naive rounds: re-evaluate rules with one local positive
-	// predicate restricted to the window of facts derived in the
-	// previous round.
+	return fixpointRounds(plans, local, inst, limits, derived, prev)
+}
+
+// fixpointRounds iterates semi-naive rounds until no local relation
+// grows: each round re-evaluates the stratum's rules with one local
+// positive predicate restricted to the window of facts derived since
+// the window start recorded in prev; the appended facts form the next
+// round's windows. Shared by the from-scratch evaluator (after its
+// round 0) and the incremental maintainer (after its delta round).
+func fixpointRounds(plans []*plan, local map[string]bool, inst *instance.Instance, limits Limits, derived *int, prev map[string]int) error {
+	workers := limits.workers()
+	hb := &headScratch{}
+	seqSink := func(head ast.Pred, env *Env) error {
+		return derive(head, env, inst, limits, derived, hb)
+	}
 	for iter := 0; ; iter++ {
-		cur := lengths()
+		cur := localLengths(local, inst)
 		grew := false
 		for name, n := range cur {
 			if n > prev[name] {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"seqlog/internal/instance"
@@ -324,5 +325,43 @@ func TestUnstratifiedRejected(t *testing.T) {
 	prog.Strata[0] = append(prog.Strata[0], bad...)
 	if _, err := Eval(prog, instance.New(), Limits{}); err == nil {
 		t.Fatal("unstratified program accepted by Eval")
+	}
+}
+
+func TestConcurrentEvalSharedEDB(t *testing.T) {
+	// Prepared.Eval shares the EDB copy-on-write: concurrent
+	// evaluations of the same instance must not interfere (each derives
+	// into its own clones; the shared frozen relations serve reads and
+	// lazily built indexes to all of them). Run with -race in CI.
+	prog := parser.MustParseProgram(`
+T(@x.@y) :- R(@x.@y).
+T(@x.@z) :- T(@x.@y), R(@y.@z).`)
+	p, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb := parser.MustParseInstance(`R(a.b). R(b.c). R(c.d). R(d.e).`)
+	want, err := p.Eval(edb, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := p.Eval(edb, Limits{})
+			if err != nil {
+				panic(err)
+			}
+			if !out.Equal(want) {
+				panic("concurrent Eval diverged: " + instance.Diff(out, want))
+			}
+		}()
+	}
+	wg.Wait()
+	// The input is untouched: no derived relation leaked into it.
+	if edb.Relation("T") != nil {
+		t.Fatal("Eval mutated its input")
 	}
 }

@@ -63,19 +63,28 @@ func deltaItems(plans []*plan, local map[string]bool, prev, cur map[string]int, 
 			if hi <= lo {
 				continue
 			}
-			chunks := workers
-			if most := (hi - lo) / minParallelChunk; chunks > most {
-				chunks = most
-			}
-			if chunks < 1 {
-				chunks = 1
-			}
-			for c := 0; c < chunks; c++ {
-				clo := lo + (hi-lo)*c/chunks
-				chi := lo + (hi-lo)*(c+1)/chunks
-				items = append(items, workItem{plan: p, deltaStep: stepIdx, deltaLo: clo, deltaHi: chi})
-			}
+			items = append(items, sliceWindow(p, stepIdx, lo, hi, workers)...)
 		}
+	}
+	return items
+}
+
+// sliceWindow slices one delta window [lo, hi) of a plan's predicate
+// step into up to `workers` contiguous chunks of at least
+// minParallelChunk tuples, returning one work item per chunk.
+func sliceWindow(p *plan, stepIdx, lo, hi, workers int) []workItem {
+	chunks := workers
+	if most := (hi - lo) / minParallelChunk; chunks > most {
+		chunks = most
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	items := make([]workItem, 0, chunks)
+	for c := 0; c < chunks; c++ {
+		clo := lo + (hi-lo)*c/chunks
+		chi := lo + (hi-lo)*(c+1)/chunks
+		items = append(items, workItem{plan: p, deltaStep: stepIdx, deltaLo: clo, deltaHi: chi})
 	}
 	return items
 }

@@ -1,0 +1,175 @@
+package eval
+
+import (
+	"fmt"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/instance"
+)
+
+// preparedStratum is one stratum of a compiled program: its rules'
+// join plans plus the dependency metadata the incremental maintainer
+// needs to decide whether the stratum can be skipped, maintained
+// delta-first, or must be recomputed.
+type preparedStratum struct {
+	rules ast.Stratum
+	plans []*plan
+	// heads is the set of relation names defined by this stratum.
+	heads map[string]bool
+	// reads is the set of relation names occurring in positive body
+	// predicates of this stratum (including the stratum's own heads for
+	// recursive rules).
+	reads map[string]bool
+	// negReads is the set of relation names occurring under negation.
+	// New facts in one of these invalidate previously derived facts, so
+	// insertions cannot be maintained incrementally past this stratum.
+	negReads map[string]bool
+}
+
+// Prepared is a compiled program: validated, stratified, with every
+// rule's join plan and the relation arities computed once. A Prepared
+// is immutable and safe for concurrent use; it is the unit of reuse
+// for repeated evaluation (Eval/Query/Holds methods) and the program
+// half of an Engine.
+type Prepared struct {
+	prog   ast.Program
+	strata []preparedStratum
+	// arities maps every relation name of the program to its arity.
+	arities map[string]int
+	// idb marks the relation names defined by some rule head.
+	idb map[string]bool
+	// firstDef maps each head name to the first stratum defining it
+	// (heads may repeat across handwritten strata); the engine's
+	// recompute path widens its cutoff to cover shared definitions.
+	firstDef map[string]int
+}
+
+// Compile validates and plans a program once, returning a reusable
+// *Prepared: rule safety and stratification are checked, arities
+// resolved, and every rule's join plan built. The program is deep
+// copied, so later mutation of prog cannot corrupt the compiled form.
+func Compile(prog ast.Program) (*Prepared, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	arities, err := prog.Arities()
+	if err != nil {
+		return nil, err
+	}
+	prog = prog.Clone()
+	p := &Prepared{
+		prog:     prog,
+		arities:  arities,
+		idb:      map[string]bool{},
+		firstDef: map[string]int{},
+	}
+	for si, stratum := range prog.Strata {
+		ps := preparedStratum{
+			rules:    stratum,
+			heads:    map[string]bool{},
+			reads:    map[string]bool{},
+			negReads: map[string]bool{},
+		}
+		for _, r := range stratum {
+			pl, err := compile(r)
+			if err != nil {
+				return nil, fmt.Errorf("stratum %d: %w", si+1, err)
+			}
+			ps.plans = append(ps.plans, pl)
+			ps.heads[r.Head.Name] = true
+			p.idb[r.Head.Name] = true
+			if _, ok := p.firstDef[r.Head.Name]; !ok {
+				p.firstDef[r.Head.Name] = si
+			}
+			for _, l := range r.Body {
+				if pr, ok := l.Atom.(ast.Pred); ok {
+					if l.Neg {
+						ps.negReads[pr.Name] = true
+					} else {
+						ps.reads[pr.Name] = true
+					}
+				}
+			}
+		}
+		p.strata = append(p.strata, ps)
+	}
+	return p, nil
+}
+
+// Program returns (a copy of) the compiled program.
+func (p *Prepared) Program() ast.Program { return p.prog.Clone() }
+
+// Arity returns the arity of a relation named by the program, and
+// whether the program names it at all.
+func (p *Prepared) Arity(name string) (int, bool) {
+	a, ok := p.arities[name]
+	return a, ok
+}
+
+// IsIDB reports whether the program defines the relation (it occurs in
+// some rule head).
+func (p *Prepared) IsIDB(name string) bool { return p.idb[name] }
+
+// Explain returns, in rule order, a one-line description of each
+// compiled join plan: the chosen predicate order and, per predicate,
+// the access path (exact index, ground-prefix index, or scan).
+func (p *Prepared) Explain() []string {
+	var out []string
+	for _, ps := range p.strata {
+		for _, pl := range ps.plans {
+			out = append(out, pl.describe())
+		}
+	}
+	return out
+}
+
+// Eval computes P(I) for the compiled program: the least instance
+// extending edb satisfying every rule, stratum by stratum (paper
+// §2.3). The input is shared copy-on-write (instance.Snapshot), so the
+// EDB relations are never copied: the result aliases their (frozen)
+// storage and only derived relations allocate. The input instance is
+// not modified, but its relations become frozen — writes routed
+// through the instance (Instance.Add, Ensure, Merge) transparently
+// clone, while a *Relation handle obtained before Eval panics if
+// written directly afterwards; re-fetch it via Instance.Ensure.
+func (p *Prepared) Eval(edb *instance.Instance, limits Limits) (*instance.Instance, error) {
+	limits = limits.orDefault()
+	inst := edb.Snapshot()
+	derived := 0
+	for si := range p.strata {
+		ps := &p.strata[si]
+		if err := runStratum(ps.plans, ps.heads, inst, limits, &derived); err != nil {
+			return nil, fmt.Errorf("stratum %d: %w", si+1, err)
+		}
+	}
+	return inst, nil
+}
+
+// Query evaluates the compiled program and returns the contents of one
+// output relation (possibly empty, with arity taken from the program).
+// An output relation unknown to both the program and the instance is
+// an error: it almost always indicates a misspelled relation name.
+func (p *Prepared) Query(edb *instance.Instance, output string, limits Limits) (*instance.Relation, error) {
+	out, err := p.Eval(edb, limits)
+	if err != nil {
+		return nil, err
+	}
+	if r := out.Relation(output); r != nil {
+		return r, nil
+	}
+	if a, ok := p.arities[output]; ok {
+		return instance.NewRelation(a), nil
+	}
+	return nil, fmt.Errorf("eval: unknown output relation %q (not defined by the program and absent from the instance)", output)
+}
+
+// Holds evaluates the compiled program and reports whether the nullary
+// output relation holds (boolean queries, §5.1.1).
+func (p *Prepared) Holds(edb *instance.Instance, output string, limits Limits) (bool, error) {
+	out, err := p.Eval(edb, limits)
+	if err != nil {
+		return false, err
+	}
+	r := out.Relation(output)
+	return r != nil && r.Len() > 0, nil
+}

@@ -90,11 +90,26 @@ func (t Tuple) String() string {
 // exactly this split: within a fixpoint round relations are frozen
 // (read-only fan-out, workers derive into private buffers) and all
 // writes happen single-threaded at the round barrier.
+//
+// Freeze makes the reader/writer split permanent for one relation
+// object: a frozen relation rejects writes forever, so its storage can
+// be shared with snapshots (Instance.Snapshot) while the owning
+// instance continues under copy-on-write via Ensure.
 type Relation struct {
 	Arity   int
 	buckets map[uint64][]int // tuple hash -> positions (collision buckets)
 	tuples  []Tuple
 	hashes  []uint64 // hashes[i] is the precomputed tuples[i].Hash()
+
+	// frozen marks the relation copy-on-write: its tuple storage is
+	// shared with at least one snapshot and must never be written again.
+	// Add paths panic on a frozen relation; Instance.Ensure transparently
+	// replaces a frozen relation with an unfrozen clone before handing it
+	// to a writer. Lazy secondary-index builds remain allowed — they are
+	// internally synchronized and do not touch tuple storage — so any
+	// number of snapshot readers and cloning writers can proceed
+	// concurrently.
+	frozen atomic.Bool
 
 	// mu guards creation of secondary indexes (the two maps below) and
 	// the build step that absorbs pending tuples into one; see the
@@ -108,6 +123,16 @@ type Relation struct {
 func NewRelation(arity int) *Relation {
 	return &Relation{Arity: arity, buckets: map[uint64][]int{}}
 }
+
+// Freeze marks the relation copy-on-write: every write from now on
+// panics, so the storage can be shared safely with concurrent readers
+// (Instance.Snapshot freezes every relation it shares). Freezing is
+// idempotent and cannot be undone — writers obtain an unfrozen clone
+// instead, which is what Instance.Ensure does transparently.
+func (r *Relation) Freeze() { r.frozen.Store(true) }
+
+// Frozen reports whether the relation has been frozen.
+func (r *Relation) Frozen() bool { return r.frozen.Load() }
 
 // lookupHashed returns the position of a tuple equal to t whose hash is
 // h, or -1.
@@ -133,6 +158,9 @@ func (r *Relation) Add(t Tuple) bool {
 func (r *Relation) AddHashed(h uint64, t Tuple) bool {
 	if len(t) != r.Arity {
 		panic(fmt.Sprintf("instance: arity mismatch: tuple %v into arity-%d relation", t, r.Arity))
+	}
+	if r.frozen.Load() {
+		panic("instance: write to a frozen relation (snapshot-shared storage; clone it or go through Instance.Ensure)")
 	}
 	if r.lookupHashed(h, t) >= 0 {
 		return false
@@ -168,6 +196,9 @@ func (r *Relation) HashAt(i int) uint64 { return r.hashes[i] }
 func (r *Relation) AddFromScratch(h uint64, t Tuple) bool {
 	if len(t) != r.Arity {
 		panic(fmt.Sprintf("instance: arity mismatch: tuple %v into arity-%d relation", t, r.Arity))
+	}
+	if r.frozen.Load() {
+		panic("instance: write to a frozen relation (snapshot-shared storage; clone it or go through Instance.Ensure)")
 	}
 	if r.lookupHashed(h, t) >= 0 {
 		return false
@@ -506,10 +537,20 @@ func (i *Instance) Relation(name string) *Relation { return i.rels[name] }
 
 // Ensure returns the named relation, creating it with the given arity if
 // absent. It panics on an arity clash: schemas fix arities.
+//
+// Ensure is the instance's write barrier: when the named relation is
+// frozen (its storage is shared with a snapshot), it is replaced by an
+// unfrozen clone before being returned, so the caller can write to it
+// without disturbing any snapshot. Readers that only need to look at a
+// relation should use Relation instead, which never clones.
 func (i *Instance) Ensure(name string, arity int) *Relation {
 	if r, ok := i.rels[name]; ok {
 		if r.Arity != arity {
 			panic(fmt.Sprintf("instance: relation %s has arity %d, requested %d", name, r.Arity, arity))
+		}
+		if r.Frozen() {
+			r = r.Clone()
+			i.rels[name] = r
 		}
 		return r
 	}
@@ -564,6 +605,39 @@ func (i *Instance) Clone() *Instance {
 	}
 	return out
 }
+
+// Snapshot returns a copy-on-write snapshot: a new instance sharing
+// every relation's tuple storage with i. Both i and the snapshot keep
+// reading the shared (now frozen) relations for free; the first write
+// to a relation on either side — any write funneled through Ensure —
+// transparently replaces that side's entry with an unfrozen clone,
+// leaving the other side untouched. Relations never written again are
+// never copied.
+//
+// A snapshot is safe for any number of concurrent readers, including
+// reads that lazily build secondary indexes, even while the originating
+// instance keeps being written: writers only ever touch unfrozen
+// clones, which no snapshot can see. Snapshot itself is NOT safe to run
+// concurrently with writes to i; callers serialize it with their write
+// path (the eval.Engine takes snapshots under its own lock).
+func (i *Instance) Snapshot() *Instance {
+	out := New()
+	for n, r := range i.rels {
+		r.Freeze()
+		out.rels[n] = r
+	}
+	return out
+}
+
+// Remove deletes the named relation from the instance's mapping. The
+// relation object itself is untouched: snapshots sharing it keep
+// reading it. Removing an absent name is a no-op.
+func (i *Instance) Remove(name string) { delete(i.rels, name) }
+
+// Put installs rel under name, replacing any existing mapping. The
+// engine's recompute path uses it to reinstate a (frozen) seed relation
+// before re-deriving; writes through Ensure will clone it as needed.
+func (i *Instance) Put(name string, rel *Relation) { i.rels[name] = rel }
 
 // Restrict returns a copy containing only the named relations.
 func (i *Instance) Restrict(names ...string) *Instance {

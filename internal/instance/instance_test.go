@@ -261,3 +261,92 @@ func TestAppendDuringIterationSeesSnapshot(t *testing.T) {
 		t.Fatalf("Len = %d", r.Len())
 	}
 }
+
+func TestSnapshotSharesUntilWrite(t *testing.T) {
+	i := New()
+	i.Add("R", tup(value.PathOf("a")))
+	i.Add("R", tup(value.PathOf("b")))
+	snap := i.Snapshot()
+	if !snap.Relation("R").Frozen() || !i.Relation("R").Frozen() {
+		t.Fatal("Snapshot must freeze the shared relations")
+	}
+	if snap.Relation("R") != i.Relation("R") {
+		t.Fatal("Snapshot must share relation storage, not copy it")
+	}
+	// A write through Ensure clones on the writing side only.
+	i.Add("R", tup(value.PathOf("c")))
+	if snap.Relation("R") == i.Relation("R") {
+		t.Fatal("write after Snapshot must copy-on-write")
+	}
+	if snap.Relation("R").Len() != 2 {
+		t.Fatalf("snapshot grew: Len = %d", snap.Relation("R").Len())
+	}
+	if i.Relation("R").Len() != 3 || i.Relation("R").Frozen() {
+		t.Fatalf("writer side: Len = %d frozen = %v", i.Relation("R").Len(), i.Relation("R").Frozen())
+	}
+	// New relations on the writer side never appear in the snapshot.
+	i.Add("S", tup(value.PathOf("x")))
+	if snap.Relation("S") != nil {
+		t.Fatal("snapshot sees a relation created after it was taken")
+	}
+}
+
+func TestFrozenRelationRejectsWrites(t *testing.T) {
+	r := NewRelation(1)
+	r.Add(tup(value.PathOf("a")))
+	r.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add on a frozen relation must panic")
+		}
+	}()
+	r.Add(tup(value.PathOf("b")))
+}
+
+func TestSnapshotConcurrentReadsDuringWrites(t *testing.T) {
+	// Snapshot readers (including lazy index builds) proceed while the
+	// owning instance keeps being written. Run with -race in CI.
+	i := New()
+	for k := 0; k < 64; k++ {
+		i.Add("R", tup(value.PathOf("n"+fmt.Sprint(k)), value.PathOf("n"+fmt.Sprint(k+1))))
+	}
+	snap := i.Snapshot()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := snap.Relation("R")
+		for k := 0; k < 64; k++ {
+			if !r.Contains(tup(value.PathOf("n"+fmt.Sprint(k)), value.PathOf("n"+fmt.Sprint(k+1)))) {
+				panic("snapshot lost a fact")
+			}
+			if got := r.Index(0).Lookup(value.PathOf("n" + fmt.Sprint(k))); len(got) != 1 {
+				panic("snapshot index lookup failed")
+			}
+		}
+	}()
+	for k := 0; k < 64; k++ {
+		i.Add("R", tup(value.PathOf("m"+fmt.Sprint(k)), value.PathOf("m"+fmt.Sprint(k+1))))
+	}
+	<-done
+	if snap.Relation("R").Len() != 64 {
+		t.Fatalf("snapshot Len = %d, want 64", snap.Relation("R").Len())
+	}
+}
+
+func TestRemoveAndPut(t *testing.T) {
+	i := New()
+	i.Add("R", tup(value.PathOf("a")))
+	snap := i.Snapshot()
+	i.Remove("R")
+	if i.Relation("R") != nil {
+		t.Fatal("Remove left the relation behind")
+	}
+	if snap.Relation("R") == nil || snap.Relation("R").Len() != 1 {
+		t.Fatal("Remove must not disturb snapshots")
+	}
+	i.Put("R", snap.Relation("R"))
+	i.Add("R", tup(value.PathOf("b"))) // frozen seed: Ensure clones
+	if snap.Relation("R").Len() != 1 || i.Relation("R").Len() != 2 {
+		t.Fatalf("seed reinstate: snap %d, inst %d", snap.Relation("R").Len(), i.Relation("R").Len())
+	}
+}

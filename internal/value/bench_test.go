@@ -8,7 +8,7 @@ func benchPath(n int) Path {
 		if i%7 == 3 {
 			p = append(p, Pack(Repeat("q", 3)))
 		} else {
-			p = append(p, Intern("abcdefg"[i%7 : i%7+1]))
+			p = append(p, Intern("abcdefg"[i%7:i%7+1]))
 		}
 	}
 	return p

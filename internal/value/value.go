@@ -43,7 +43,7 @@ const (
 // Atom is an atomic data element from the countably infinite universe
 // dom, represented as a handle into the global symbol table: equal
 // texts intern to equal Syms, so == on Atoms is text equality. The zero
-// Atom is the empty atom ''. Construct Atoms with Intern (or PathOf).
+// Atom is the empty atom ”. Construct Atoms with Intern (or PathOf).
 type Atom struct {
 	sym Sym
 }

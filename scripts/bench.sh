@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # bench.sh — run the perf-tracked benchmarks (graphpaths transitive
-# closure, concat workload, unification, value microbenchmarks) with
-# -benchmem and archive the parsed results as JSON.
+# closure, concat workload, unification, value microbenchmarks, and
+# the incremental-assert serving workload) with -benchmem and archive
+# the parsed results as JSON.
 #
 # Usage:  scripts/bench.sh [out.json]
 #         COUNT=5 scripts/bench.sh          # repetitions (default 5)
@@ -22,6 +23,10 @@ go test -run '^$' -bench 'TransitiveClosureGraph|ConcatJoin|SemiNaiveChain' \
     -benchmem -count="$count" ./internal/eval/ > "$raw"
 go test -run '^$' -bench '.' -benchmem -count="$count" \
     ./internal/unify/ ./internal/value/ >> "$raw"
+# Serving workload: incremental maintenance vs from-scratch. The
+# from-scratch baseline is slow per op, so cap its per-run time.
+go test -run '^$' -bench 'IncrementalAssert' -benchmem -benchtime 1s \
+    -count="$count" . >> "$raw"
 cat "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '

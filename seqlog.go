@@ -10,6 +10,11 @@
 //   - a stratified, semi-naive evaluator with termination guards
 //     (§2.3), hash-indexed joins chosen by a binding-aware planner,
 //     and optional intra-round parallelism (Limits.Parallelism);
+//   - a serving layer: Compile splits evaluation into a reusable
+//     compiled form (Prepared), and Engine keeps a materialized
+//     instance at fixpoint under incremental Assert batches while
+//     concurrent readers query copy-on-write Snapshots (cmd/seqlogd
+//     serves this over a line protocol);
 //   - associative unification for path-expression equations — pig-pug
 //     with the paper's extensions (§4.3, Figure 2);
 //   - every redundancy theorem as an executable program transformation:
@@ -114,7 +119,38 @@ type Limits = eval.Limits
 // ErrNonTermination reports evaluation exceeding its limits.
 var ErrNonTermination = eval.ErrNonTermination
 
-// Eval computes P(I) stratum by stratum.
+// Serving (the compile/execute split and the persistent engine).
+type (
+	// Prepared is a compiled program: validated, stratified, with every
+	// rule's join plan and the relation arities computed once. Reuse it
+	// to evaluate the same program repeatedly without re-planning.
+	Prepared = eval.Prepared
+	// Engine is a persistent evaluator: a Prepared program plus a live
+	// materialized instance, maintained incrementally under Assert and
+	// served consistently through copy-on-write snapshots.
+	Engine = eval.Engine
+	// AssertStats reports what one Engine.Assert did, stratum by
+	// stratum (skipped / incremental / recomputed).
+	AssertStats = eval.AssertStats
+	// EngineStats is a point-in-time summary of an Engine.
+	EngineStats = eval.EngineStats
+)
+
+// Compile validates and plans a program once, returning a reusable
+// *Prepared. Eval/Query/Holds are one-shot conveniences built on it.
+func Compile(p Program) (*Prepared, error) { return eval.Compile(p) }
+
+// NewEngine runs the initial fixpoint of a compiled program over edb
+// (shared copy-on-write; a nil edb means empty) and returns the live
+// engine. Subsequent Assert calls maintain the materialization
+// incrementally; Snapshot/Query serve consistent reads concurrently.
+func NewEngine(p *Prepared, edb *Instance, limits Limits) (*Engine, error) {
+	return eval.NewEngine(p, edb, limits)
+}
+
+// Eval computes P(I) stratum by stratum. It compiles the program per
+// call; use Compile + Prepared.Eval (or an Engine) for repeated
+// evaluation of the same program.
 func Eval(p Program, edb *Instance, limits Limits) (*Instance, error) {
 	return eval.Eval(p, edb, limits)
 }

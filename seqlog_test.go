@@ -150,3 +150,49 @@ func TestFacadeUnify(t *testing.T) {
 		t.Fatal("expected at least the {$x->a} solution")
 	}
 }
+
+func TestFacadeEngine(t *testing.T) {
+	prep, err := Compile(MustParse(`
+T(@x.@y) :- E(@x.@y).
+T(@x.@z) :- T(@x.@y), E(@y.@z).`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(prep, MustParseInstance(`E(a.b).`), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Assert(MustParseInstance(`E(b.c). E(c.d).`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Asserted != 2 || stats.StrataIncremental != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	rel, err := e.Query("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 6 {
+		t.Fatalf("|T| = %d, want 6", rel.Len())
+	}
+	if snap.Relation("T").Len() != 1 {
+		t.Fatalf("snapshot moved: |T| = %d, want 1", snap.Relation("T").Len())
+	}
+	// The engine's materialization must match one-shot Eval.
+	want, err := Eval(prep.Program(), MustParseInstance(`E(a.b). E(b.c). E(c.d).`), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Equal(want) {
+		t.Fatal("engine materialization differs from Eval")
+	}
+}
