@@ -427,3 +427,74 @@ func BenchmarkIncrementalAssert(b *testing.B) {
 		}
 	})
 }
+
+// Acceptance workload for DRed retraction: withdrawing edges from the
+// same materialized 1k-edge graphpaths closure. Each measured
+// iteration retracts one real edge of the graph — overdeleting its
+// downward closure and rederiving the paths that survive through
+// alternative routes — with the re-assert that restores steady state
+// excluded from the timer. The from-scratch baseline is what a batch
+// evaluator must do after a deletion: re-run the full fixpoint on the
+// EDB minus the edge. The retract-assert-cycle variant times the whole
+// withdraw-and-restore loop, the serving pattern for flapping facts.
+// Measured results are in docs/performance.md ("Retraction").
+func BenchmarkIncrementalRetract(b *testing.B) {
+	q, _ := queries.Get("reachability")
+	prep, err := eval.Compile(q.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edb := workload.Graph(9, 200, 1000)
+	edges := edb.Relation("R").Tuples()
+	edgeBatch := func(i int) *Instance {
+		delta := NewInstance()
+		delta.Ensure("R", 1).Add(edges[i%len(edges)])
+		return delta
+	}
+	b.Run("retract/k=1", func(b *testing.B) {
+		engine, err := eval.NewEngine(prep, edb, eval.Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Retract(edgeBatch(i)); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if _, err := engine.Assert(edgeBatch(i)); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	b.Run("retract-assert-cycle/k=1", func(b *testing.B) {
+		engine, err := eval.NewEngine(prep, edb, eval.Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Retract(edgeBatch(i)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.Assert(edgeBatch(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fromscratch/k=1", func(b *testing.B) {
+		// The post-deletion EDB: everything except edge 0.
+		rest := NewInstance()
+		r := rest.Ensure("R", 1)
+		for _, t := range edges[1:] {
+			r.Add(t)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Eval(rest, eval.Limits{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -20,6 +20,8 @@
 //	load                  read program lines until a lone "."; compile
 //	                      and start a fresh engine (empty EDB)
 //	assert <facts>        e.g. assert E(a.b). E(b.c).
+//	retract <facts>       withdraw facts; derived facts losing their
+//	                      last derivation disappear (DRed maintenance)
 //	query <relation>      print the relation's facts, one per line
 //	holds <relation>      print true/false
 //	stats                 engine counters
@@ -29,6 +31,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +39,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"seqlog/internal/eval"
 	"seqlog/internal/instance"
@@ -85,16 +89,58 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintln(os.Stderr, "seqlogd: listening on", ln.Addr())
+	if err := acceptLoop(ln, srv, time.Sleep); err != nil {
+		fail(err)
+	}
+}
+
+// acceptMaxBackoff caps the exponential backoff between retries of a
+// failing Accept.
+const acceptMaxBackoff = time.Second
+
+// acceptLoop accepts connections until the listener closes, serving
+// each on its own goroutine. A transient Accept error (EMFILE under
+// connection pressure, ECONNABORTED, a timeout) must not kill the
+// daemon and orphan every established session: temporary errors are
+// logged and retried with exponential backoff, and only a permanent
+// listener failure is returned. The sleep function is injected for
+// tests.
+func acceptLoop(ln net.Listener, srv *server, sleep func(time.Duration)) error {
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			fail(err)
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && !isTemporary(ne) {
+				return err
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > acceptMaxBackoff {
+				backoff = acceptMaxBackoff
+			}
+			fmt.Fprintf(os.Stderr, "seqlogd: accept: %v (retrying in %v)\n", err, backoff)
+			sleep(backoff)
+			continue
 		}
+		backoff = 0
 		go func() {
 			defer conn.Close()
 			srv.serve(conn, conn)
 		}()
 	}
+}
+
+// isTemporary reports whether a net.Error is worth retrying. Timeout
+// covers the modern contract; Temporary is deprecated as advice for
+// callers but still part of net.Error and still how the runtime
+// classifies the syscall-level accept errors (EMFILE, ECONNABORTED)
+// that matter here.
+func isTemporary(ne net.Error) bool {
+	return ne.Timeout() || ne.Temporary()
 }
 
 // server holds the one engine every connection shares. The engine
@@ -160,13 +206,31 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 		switch cmd {
 		case "load":
 			var prog strings.Builder
+			terminated := false
 			for in.Scan() {
 				l := in.Text()
 				if strings.TrimSpace(l) == "." {
+					terminated = true
 					break
 				}
 				prog.WriteString(l)
 				prog.WriteByte('\n')
+			}
+			if !terminated {
+				// Input ended before the lone ".": the program arrived
+				// truncated, and loading whatever accumulated would
+				// silently serve half a program. Keep the previous engine
+				// and tell the client. A scanner FAILURE (e.g. a line
+				// beyond the 1 MiB cap) additionally poisons the stream —
+				// scanning on could reinterpret buffered program text as
+				// protocol commands — so close the session; plain EOF just
+				// lets the outer loop wind down.
+				if err := in.Err(); err != nil {
+					reply("err load: %v (program discarded, previous engine kept)", err)
+					return
+				}
+				reply("err load: input ended before the terminating \".\" (program discarded, previous engine kept)")
+				continue
 			}
 			if err := s.load(prog.String(), instance.New()); err != nil {
 				reply("err %v", err)
@@ -189,8 +253,28 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				reply("err %v", err)
 				continue
 			}
-			reply("ok asserted=%d derived=%d skipped=%d incremental=%d recomputed=%d",
-				stats.Asserted, stats.Derived, stats.StrataSkipped, stats.StrataIncremental, stats.StrataRecomputed)
+			reply("ok asserted=%d derived=%d overdeleted=%d rederived=%d skipped=%d incremental=%d",
+				stats.Asserted, stats.Derived, stats.Overdeleted, stats.Rederived,
+				stats.StrataSkipped, stats.StrataIncremental)
+		case "retract":
+			e, err := s.current()
+			if err != nil {
+				reply("err %v", err)
+				continue
+			}
+			delta, err := parser.ParseInstance(rest)
+			if err != nil {
+				reply("err %v", err)
+				continue
+			}
+			stats, err := e.Retract(delta)
+			if err != nil {
+				reply("err %v", err)
+				continue
+			}
+			reply("ok retracted=%d derived=%d overdeleted=%d rederived=%d skipped=%d incremental=%d",
+				stats.Retracted, stats.Derived, stats.Overdeleted, stats.Rederived,
+				stats.StrataSkipped, stats.StrataIncremental)
 		case "query":
 			e, err := s.current()
 			if err != nil {
@@ -233,7 +317,8 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				continue
 			}
 			st := e.Stats()
-			reply("ok facts=%d derived=%d asserts=%d", st.Facts, st.Derived, st.Asserts)
+			reply("ok facts=%d derived=%d asserts=%d retracts=%d",
+				st.Facts, st.Derived, st.Asserts, st.Retracts)
 		case "explain":
 			e, err := s.current()
 			if err != nil {
@@ -248,7 +333,7 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 			reply("ok bye")
 			return
 		default:
-			reply("err unknown command %q (load, assert, query, holds, stats, explain, quit)", cmd)
+			reply("err unknown command %q (load, assert, retract, query, holds, stats, explain, quit)", cmd)
 		}
 	}
 	// A scanner failure (e.g. a line beyond the 1 MB cap) must not kill

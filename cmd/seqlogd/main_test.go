@@ -1,9 +1,12 @@
 package main
 
 import (
+	"io"
+	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"seqlog/internal/eval"
 	"seqlog/internal/instance"
@@ -34,12 +37,12 @@ quit
 `)
 	for _, want := range []string{
 		"ok loaded",
-		"ok asserted=2 derived=3 skipped=0 incremental=1 recomputed=0",
+		"ok asserted=2 derived=3 overdeleted=0 rederived=0 skipped=0 incremental=1",
 		"T(a.b).\nT(a.c).\nT(b.c).\nok n=3",
 		// Asserting c->d adds paths from a, b and c: three new facts.
-		"ok asserted=1 derived=3 skipped=0 incremental=1 recomputed=0",
+		"ok asserted=1 derived=3 overdeleted=0 rederived=0 skipped=0 incremental=1",
 		"ok true",
-		"ok facts=9 derived=6 asserts=2",
+		"ok facts=9 derived=6 asserts=2 retracts=0",
 		"ok bye",
 	} {
 		if !strings.Contains(got, want) {
@@ -62,7 +65,7 @@ query Nope
 bogus
 `)
 	for _, want := range []string{
-		"err eval: cannot assert into IDB relation",
+		"err eval: cannot assert IDB relation",
 		"err eval: unknown output relation",
 		"err unknown command",
 	} {
@@ -147,5 +150,151 @@ func TestOversizedLineReportsError(t *testing.T) {
 	got := run(t, srv, "assert R("+strings.Repeat("a.", 1<<20)+"b).\n")
 	if !strings.Contains(got, "err ") {
 		t.Fatalf("oversized line died silently:\n%.200s", got)
+	}
+	// The same failure inside a load must reply exactly one err and
+	// close the session: scanning on after a poisoned stream could
+	// reinterpret buffered program text as protocol commands.
+	got = run(t, srv, "load\n"+strings.Repeat("a", 2<<20)+"\nquit\n")
+	if !strings.Contains(got, "err load:") {
+		t.Fatalf("oversized load line must reply err load:\n%.200s", got)
+	}
+	if strings.Contains(got, "unknown command") || strings.Contains(got, "ok bye") {
+		t.Fatalf("poisoned load stream kept being interpreted:\n%.300s", got)
+	}
+	if n := strings.Count(got, "\n"); n != 1 {
+		t.Fatalf("want exactly one reply line, got %d:\n%.300s", n, got)
+	}
+	// The previous engine still serves on a fresh session.
+	if got := run(t, srv, "assert R(a).\nquery S\n"); !strings.Contains(got, "ok n=1") {
+		t.Fatalf("previous engine lost:\n%s", got)
+	}
+}
+
+func TestRetractVerb(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	got := run(t, srv, `load
+T(@x.@y) :- E(@x.@y).
+T(@x.@z) :- T(@x.@y), E(@y.@z).
+.
+assert E(a.b). E(b.c).
+retract E(b.c).
+query T
+retract E(nope.nope).
+retract T(a.b).
+stats
+`)
+	for _, want := range []string{
+		// Removing b->c takes T(b.c) and T(a.c) with it.
+		"ok retracted=1 derived=-2 overdeleted=2 rederived=0 skipped=0 incremental=1",
+		"T(a.b).\nok n=1",
+		// Absent facts are dropped silently: a full skip.
+		"ok retracted=0 derived=0 overdeleted=0 rederived=0 skipped=1 incremental=0",
+		"err eval: cannot retract IDB relation",
+		"ok facts=2 derived=1 asserts=1 retracts=2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("response missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestTruncatedLoadKeepsPreviousEngine: a load whose input ends before
+// the terminating "." must not install a half program — the session
+// replies err and the previously loaded engine keeps serving.
+func TestTruncatedLoadKeepsPreviousEngine(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	if out := run(t, srv, "load\nS($x) :- R($x).\n.\nassert R(a).\n"); strings.Contains(out, "err") {
+		t.Fatalf("setup failed:\n%s", out)
+	}
+	// EOF arrives mid-program: no lone "." ever comes.
+	got := run(t, srv, "load\nBroken($x) :- R($x).\n")
+	if !strings.Contains(got, "err load: input ended before the terminating") {
+		t.Fatalf("truncated load must reply err:\n%s", got)
+	}
+	if strings.Contains(got, "ok loaded") {
+		t.Fatalf("truncated load must not install a program:\n%s", got)
+	}
+	// The old program (and its facts) still serve.
+	got = run(t, srv, "query S\nquery Broken\n")
+	if !strings.Contains(got, "S(a).") || !strings.Contains(got, "ok n=1") {
+		t.Fatalf("previous engine lost after truncated load:\n%s", got)
+	}
+	if !strings.Contains(got, "err eval: unknown output relation \"Broken\"") {
+		t.Fatalf("half program leaked into the engine:\n%s", got)
+	}
+	// A load truncated before any engine exists leaves none in place.
+	fresh := &server{limits: eval.Limits{}}
+	got = run(t, fresh, "load\nS($x) :- R($x).\n")
+	if !strings.Contains(got, "err load: input ended") {
+		t.Fatalf("fresh truncated load: %s", got)
+	}
+	if _, err := fresh.current(); err == nil {
+		t.Fatal("truncated load installed an engine")
+	}
+}
+
+// flakyListener fails Accept with temporary errors a few times, then
+// hands out one connection, then reports closure.
+type flakyListener struct {
+	fails int
+	conns []net.Conn
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "accept: too many open files" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.fails > 0 {
+		l.fails--
+		return nil, tempErr{}
+	}
+	if len(l.conns) == 0 {
+		return nil, net.ErrClosed
+	}
+	c := l.conns[0]
+	l.conns = l.conns[1:]
+	return c, nil
+}
+
+func (l *flakyListener) Close() error   { return nil }
+func (l *flakyListener) Addr() net.Addr { return &net.TCPAddr{} }
+
+// TestAcceptLoopRetriesTemporaryErrors: transient Accept failures
+// (EMFILE et al.) must be retried with backoff instead of killing the
+// daemon, and the loop must still serve the connections that follow.
+func TestAcceptLoopRetriesTemporaryErrors(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	if err := srv.load("S($x) :- R($x).", instance.New()); err != nil {
+		t.Fatal(err)
+	}
+	client, served := net.Pipe()
+	ln := &flakyListener{fails: 3, conns: []net.Conn{served}}
+	var slept []time.Duration
+	done := make(chan error, 1)
+	go func() { done <- acceptLoop(ln, srv, func(d time.Duration) { slept = append(slept, d) }) }()
+
+	if _, err := client.Write([]byte("assert R(a).\nquit\n")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "ok asserted=1") || !strings.Contains(string(out), "ok bye") {
+		t.Fatalf("session after retries broken:\n%s", out)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("closed listener must end the loop cleanly: %v", err)
+	}
+	if len(slept) != 3 {
+		t.Fatalf("slept %v, want 3 backoffs", slept)
+	}
+	for i := 1; i < len(slept); i++ {
+		if slept[i] <= slept[i-1] {
+			t.Fatalf("backoff must grow: %v", slept)
+		}
 	}
 }

@@ -1,0 +1,760 @@
+package eval
+
+// Delete-and-rederive (DRed) incremental maintenance. One maintenance
+// run — an Engine.Assert or Engine.Retract — walks the strata in order
+// applying three phases per stratum:
+//
+//  1. overdelete: tombstone every materialized fact of the stratum's
+//     heads whose known derivations may involve a changed fact — a
+//     deleted fact used positively (chased semi-naively over the
+//     deletion log, so deletions cascade through recursion), or an
+//     inserted fact under negation (a derivation whose negated atom now
+//     matches was invalidated by the insertion). Side atoms join
+//     against the pre-deletion state (live tuples plus everything
+//     tombstoned this run), the over-approximation DRed requires:
+//     deleting too much is safe because phase 2 restores survivors,
+//     while deleting too little would leave unsupported facts behind.
+//     Before tombstoning, a well-founded support check (older live
+//     same-relation facts only) prunes candidates that plainly keep a
+//     derivation, which is what stops the cascade at its frontier.
+//  2. rederive: each overdeleted candidate is checked goal-directedly —
+//     the head matched against the candidate fact, the rule body run
+//     against the live state through a head-bound rederive plan — or,
+//     when overdeletion took most of the relation, by one forward
+//     round over the (small) surviving state; knock-on restorations
+//     then propagate semi-naively over the restore windows.
+//  3. insert: new consequences are derived delta-first — insertion
+//     windows joined through positive literals (the classic semi-naive
+//     incremental round, parallel when configured), net deletions
+//     probed through negated literals (derivations blocked only by a
+//     fact this run removed are new), then the stratum-local fixpoint.
+//
+// Net insertions are tracked as windows into the relations' tuple
+// logs, net deletions as side relations; each stratum keeps cursors
+// into both, and the walk sweeps the strata until a full sweep
+// consumes nothing new. For auto-stratified programs that is one
+// working sweep plus one no-op sweep.
+//
+// Handwritten strata may define one head name in several strata, with
+// readers in between. Prepared.Eval gives each stratum the view of a
+// relation "as of" its place in the stratum order, and maintenance
+// reproduces that for every DELTA it processes: every delta carries
+// its PRODUCER (the stratum that created it; -1 for the caller's
+// batch), and a stratum only consumes deltas produced at or before
+// its own index. A deletion performed by a later defining stratum
+// therefore stays invisible to an earlier reader (whose view never
+// lost the fact), while a restoration performed by a defining stratum
+// is announced as an insertion when some stratum already consumed the
+// deletion — so a reader after the restorer that acted on the
+// deletion re-derives what it dropped. The extra sweeps of the walk
+// exist for exactly these wake-ups.
+//
+// Known limitation (since the PR 4 insert path; see ROADMAP): the
+// SIDE atoms of a delta join read the full materialization, which has
+// no per-stratum fact provenance. A positive forward reference — an
+// earlier stratum reading a head that a later stratum also defines —
+// can therefore join against later-produced facts and derive more
+// than Eval's stratum-ordered pass (the result drifts toward the
+// least model of the rules, which for such programs is larger).
+// Auto-stratified programs never hit this: their readers always sit
+// at or after every definition. TestEngineAssertForwardReadDiverges
+// pins the behavior.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"seqlog/internal/ast"
+	"seqlog/internal/instance"
+)
+
+// window is a half-open position range [lo, hi) into a relation's
+// tuple log, tagged with the stratum that produced it (-1 = the
+// caller's batch, visible to every stratum).
+type window struct {
+	lo, hi int
+	by     int
+}
+
+// delSegment tags the deletion-log positions [prev upto, upto) with
+// the stratum that produced them (-1 = the caller's batch).
+type delSegment struct {
+	upto int
+	by   int
+}
+
+// errStopRun aborts a plan run after the first derivation; the
+// goal-directed rederivation check only needs existence.
+var errStopRun = errors.New("eval: stop after first derivation")
+
+// maintenance is the state of one DRed maintenance run.
+type maintenance struct {
+	e *Engine
+	// ins[name] lists the windows of e.inst.Relation(name)'s tuple log
+	// holding facts this run inserted: the asserted batch plus the
+	// insert-phase derivations. Rederived facts are normally not
+	// recorded — a fact that was overdeleted and then restored is
+	// unchanged as far as other strata are concerned — except when a
+	// stratum already consumed the deletion-log entry, where the
+	// restoration must be announced to let readers after the restorer
+	// undo what they did (see rederive's restore).
+	ins map[string][]window
+	// del[name] holds the facts this run removed from the
+	// materialization and has not restored; entries are tombstoned in
+	// place when a rederivation (or an insert-phase re-derivation)
+	// brings the fact back, so the live entries are always the net
+	// deletions. delBy[name] tags the log's position ranges with their
+	// producing stratum.
+	del   map[string]*instance.Relation
+	delBy map[string][]delSegment
+
+	// Per-stratum consumption cursors: insDone[si][name] counts the ins
+	// windows stratum si has processed, delDone[si][name] is the Size
+	// watermark of del[name] it has consumed (eligible positions only —
+	// deltas produced by later strata are skipped permanently, matching
+	// the stratum-order views of Prepared.Eval). A stratum is revisited
+	// in a later sweep exactly when a cursor lags behind an eligible
+	// delta.
+	insDone []map[string]int
+	delDone []map[string]int
+	visited []bool
+
+	overdeleted, rederived int
+	skipped, incremental   int
+}
+
+func (e *Engine) newMaintenance() *maintenance {
+	n := len(e.prep.strata)
+	m := &maintenance{
+		e:       e,
+		ins:     map[string][]window{},
+		del:     map[string]*instance.Relation{},
+		delBy:   map[string][]delSegment{},
+		insDone: make([]map[string]int, n),
+		delDone: make([]map[string]int, n),
+		visited: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		m.insDone[i] = map[string]int{}
+		m.delDone[i] = map[string]int{}
+	}
+	return m
+}
+
+// delFor returns the deletion log for name, creating it on first use.
+func (m *maintenance) delFor(name string, arity int) *instance.Relation {
+	dl := m.del[name]
+	if dl == nil {
+		dl = instance.NewRelation(arity)
+		m.del[name] = dl
+	}
+	return dl
+}
+
+// noteDel tags any freshly appended deletion-log positions of name
+// with their producing stratum. Call after growing del[name].
+func (m *maintenance) noteDel(name string, by int) {
+	size := m.del[name].Size()
+	segs := m.delBy[name]
+	if n := len(segs); n > 0 && segs[n-1].by == by {
+		segs[n-1].upto = size
+	} else if n == 0 || segs[n-1].upto < size {
+		segs = append(segs, delSegment{upto: size, by: by})
+	}
+	m.delBy[name] = segs
+}
+
+// delRanges returns the sub-ranges of del[name]'s positions [lo, hi)
+// whose producer is visible to stratum si (produced at or before si).
+func (m *maintenance) delRanges(name string, lo, hi, si int) [][2]int {
+	var out [][2]int
+	start := 0
+	for _, seg := range m.delBy[name] {
+		if seg.by <= si {
+			a, b := start, seg.upto
+			if a < lo {
+				a = lo
+			}
+			if b > hi {
+				b = hi
+			}
+			if a < b {
+				if n := len(out); n > 0 && out[n-1][1] == a {
+					out[n-1][1] = b
+				} else {
+					out = append(out, [2]int{a, b})
+				}
+			}
+		}
+		start = seg.upto
+	}
+	return out
+}
+
+// run walks the strata applying the DRed phases until a full sweep
+// consumes no new deltas, then folds the per-stratum outcomes into the
+// skipped/incremental counters.
+func (m *maintenance) run() error {
+	limits := m.e.limits
+	for sweep := 0; ; sweep++ {
+		if sweep > limits.MaxIterations {
+			return fmt.Errorf("%w: %d maintenance sweeps", ErrNonTermination, sweep)
+		}
+		progress := false
+		for si := range m.e.prep.strata {
+			did, err := m.stratum(si)
+			if err != nil {
+				return fmt.Errorf("stratum %d: %w", si+1, err)
+			}
+			progress = progress || did
+		}
+		if !progress {
+			break
+		}
+	}
+	for si := range m.e.prep.strata {
+		if m.visited[si] {
+			m.incremental++
+		} else {
+			m.skipped++
+		}
+	}
+	return nil
+}
+
+// stratum applies the DRed phases to one stratum, reporting whether it
+// consumed any new delta (false means the stratum was skipped — no
+// relation it reads changed, visibly to it, since its last visit).
+func (m *maintenance) stratum(si int) (bool, error) {
+	ps := &m.e.prep.strata[si]
+	insDone, delDone := m.insDone[si], m.delDone[si]
+	dirty := false
+	check := func(names map[string]bool) {
+		for name := range names {
+			for _, w := range m.ins[name][insDone[name]:] {
+				if w.by <= si {
+					dirty = true
+					break
+				}
+			}
+			if dl := m.del[name]; dl != nil && len(m.delRanges(name, delDone[name], dl.Size(), si)) > 0 {
+				dirty = true
+			}
+		}
+	}
+	check(ps.reads)
+	check(ps.negReads)
+	// A deletion-log entry for one of this stratum's OWN heads is also
+	// a reason to visit: with a head name defined in several
+	// handwritten strata, a fact overdeleted while processing one
+	// defining stratum may still be derivable by this one's rules, and
+	// only this stratum's rederive phase can restore it. (Own-head
+	// deletions are visible regardless of producer — the final relation
+	// is what all defining strata jointly derive.)
+	for name := range ps.heads {
+		if dl := m.del[name]; dl != nil && dl.Size() > delDone[name] {
+			dirty = true
+		}
+	}
+	if !dirty {
+		return false, nil
+	}
+	m.visited[si] = true
+	if err := m.overdelete(ps, si, insDone, delDone); err != nil {
+		return true, err
+	}
+	if err := m.rederive(ps, si); err != nil {
+		return true, err
+	}
+	if err := m.insert(ps, si, insDone, delDone); err != nil {
+		return true, err
+	}
+	advance := func(names map[string]bool) {
+		for name := range names {
+			insDone[name] = len(m.ins[name])
+			if dl := m.del[name]; dl != nil {
+				delDone[name] = dl.Size()
+			}
+		}
+	}
+	advance(ps.reads)
+	advance(ps.negReads)
+	advance(ps.heads)
+	return true, nil
+}
+
+// overdelete is phase 1; see the package comment.
+func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone map[string]int) error {
+	e := m.e
+	hb := &headScratch{}
+	sink := func(head ast.Pred, env *Env) error {
+		t, err := hb.build(head, env, e.limits)
+		if err != nil {
+			return err
+		}
+		h := t.Hash()
+		rel := e.inst.Relation(head.Name)
+		if rel == nil {
+			return nil
+		}
+		pos := rel.PositionHashed(h, t)
+		if pos < 0 {
+			return nil // already deleted, or never materialized
+		}
+		// EDB-provided facts of IDB relations are base facts, not
+		// derivations: they survive every overdeletion.
+		if s := e.seeds[head.Name]; s != nil && s.ContainsHashed(h, t) {
+			return nil
+		}
+		// Well-founded pruning: keep the candidate outright when some
+		// rule still derives it from live facts that are strictly older
+		// (same-relation supports below the candidate's own position).
+		// The position measure makes circular keep-alives impossible,
+		// and if a justifying support dies later, its deletion delta
+		// re-derives this candidate and the check runs again. Pruning
+		// here is what keeps a retraction's cost proportional to the
+		// facts that actually lose their support, instead of the whole
+		// downward closure: in well-connected data most candidates have
+		// an older alternative derivation and the cascade stops at the
+		// frontier.
+		kept, err := m.derivesGoal(ps, head.Name, t, rel, pos)
+		if err != nil {
+			return err
+		}
+		if kept {
+			return nil
+		}
+		dst := e.inst.Ensure(head.Name, len(head.Args))
+		if !dst.DeleteHashed(h, t) {
+			return nil
+		}
+		m.delFor(head.Name, len(head.Args)).AddFromScratch(h, t)
+		m.noteDel(head.Name, si)
+		e.derived--
+		m.overdeleted++
+		return nil
+	}
+	// Insertions under negation: derivations whose negated atom matches
+	// a fact inserted by this run held before the insertion and are
+	// invalid now.
+	for _, p := range ps.plans {
+		for j, s := range p.steps {
+			if s.kind != stepNegPred {
+				continue
+			}
+			name := s.pred.Name
+			var wins []window
+			for _, w := range m.ins[name][insDone[name]:] {
+				if w.by <= si {
+					wins = append(wins, w)
+				}
+			}
+			if len(wins) == 0 {
+				continue
+			}
+			probe := func(h uint64, t instance.Tuple) bool {
+				rel := e.inst.Relation(name)
+				if rel == nil {
+					return false
+				}
+				pos := rel.PositionHashed(h, t)
+				if pos < 0 {
+					return false
+				}
+				for _, w := range wins {
+					if pos >= w.lo && pos < w.hi {
+						return true
+					}
+				}
+				return false
+			}
+			opts := runOpts{includeDead: true, negStep: j, negProbe: probe}
+			if err := runPlanOpts(p, e.inst, -1, 0, 0, sink, opts); err != nil {
+				return err
+			}
+		}
+	}
+	// Deletions used positively: the downward closure of the deletion
+	// log, chased semi-naively (the stratum's own overdeletions feed
+	// back through recursive rules). Only positions produced by strata
+	// at or before si are joined — a later defining stratum's deletion
+	// is invisible to this stratum's view.
+	proc := map[string]int{}
+	for name := range ps.reads {
+		proc[name] = delDone[name]
+	}
+	for round := 0; ; round++ {
+		if round > e.limits.MaxIterations {
+			return fmt.Errorf("%w: %d overdeletion rounds", ErrNonTermination, round)
+		}
+		cur := map[string]int{}
+		for name := range proc {
+			if dl := m.del[name]; dl != nil {
+				cur[name] = dl.Size()
+			}
+		}
+		ran := false
+		for _, p := range ps.plans {
+			for _, stepIdx := range p.predSteps {
+				name := p.steps[stepIdx].pred.Name
+				dl := m.del[name]
+				if dl == nil {
+					continue
+				}
+				for _, r := range m.delRanges(name, proc[name], cur[name], si) {
+					ran = true
+					opts := runOpts{deltaRel: dl, includeDead: true, negStep: -1}
+					if err := runPlanOpts(p, e.inst, stepIdx, r[0], r[1], sink, opts); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if !ran {
+			return nil
+		}
+		for name, n := range cur {
+			proc[name] = n
+		}
+	}
+}
+
+// rederive is phase 2; see the package comment. It runs one
+// goal-directed pass over the candidates (each checked against the
+// live state through the head-bound rederive plans), then chases the
+// knock-on restorations semi-naively: a restored fact can give another
+// candidate its derivation back, so the restore windows are joined
+// delta-first with a sink that only restores still-deleted facts —
+// never a second full pass over the candidate set.
+func (m *maintenance) rederive(ps *preparedStratum, si int) error {
+	e := m.e
+	inst := e.inst
+	any := false
+	for name := range ps.heads {
+		if dl := m.del[name]; dl != nil && dl.Len() > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	prev := localSizes(ps.heads, inst)
+	restore := func(name string, arity int, h uint64, t instance.Tuple, dlPos int) {
+		rel := inst.Ensure(name, arity)
+		mainPos := rel.Size()
+		if !rel.AddHashed(h, t) {
+			m.del[name].DeleteHashed(h, t) // already back; just drop the log entry
+			return
+		}
+		m.del[name].DeleteHashed(h, t)
+		e.derived++
+		m.rederived++
+		// A restored fact is normally invisible to other strata (it was
+		// never really gone). But a stratum that already consumed the
+		// deletion-log entry acted on the deletion; announcing the
+		// restoration as an insertion produced here lets readers after
+		// this stratum re-derive what they dropped, while the producer
+		// filter keeps it invisible to earlier readers, whose
+		// stratum-order view genuinely lost the fact.
+		if m.consumedDeletion(name, dlPos) {
+			m.ins[name] = append(m.ins[name], window{lo: mainPos, hi: mainPos + 1, by: si})
+		}
+	}
+	// The sink both seeding strategies and the delta rounds share: keep
+	// a derived fact only when it is a still-deleted candidate.
+	hb := &headScratch{}
+	sink := func(head ast.Pred, env *Env) error {
+		t, err := hb.build(head, env, e.limits)
+		if err != nil {
+			return err
+		}
+		dl := m.del[head.Name]
+		if dl == nil {
+			return nil
+		}
+		h := t.Hash()
+		pos := dl.PositionHashed(h, t)
+		if pos < 0 {
+			return nil // not a candidate: the fact already exists (or never did)
+		}
+		restore(head.Name, len(head.Args), dl.HashAt(pos), dl.TupleAt(pos), pos)
+		return nil
+	}
+	// Seed the restoration with whichever strategy is cheaper. Few
+	// candidates against a large surviving relation: check each
+	// candidate goal-directedly (head matched, body probed through the
+	// head-bound rederive plans). Candidates dominating the relation:
+	// one forward round of the stratum's rules over the (small) live
+	// state, restoring every derived fact that is still deleted — its
+	// cost is bounded by a from-scratch round 0, which beats touching
+	// every candidate individually.
+	candidates, liveSize := 0, 0
+	for name := range ps.heads {
+		if dl := m.del[name]; dl != nil {
+			candidates += dl.Len()
+		}
+		if rel := inst.Relation(name); rel != nil {
+			liveSize += rel.Len()
+		}
+	}
+	if candidates*4 <= liveSize {
+		for _, name := range sortedNames(ps.heads) {
+			dl := m.del[name]
+			if dl == nil {
+				continue
+			}
+			arity := e.prep.arities[name]
+			for pos := 0; pos < dl.Size(); pos++ {
+				if !dl.Live(pos) {
+					continue
+				}
+				t := dl.TupleAt(pos) // owned by the deletion log, safe to share
+				ok, err := m.rederivable(ps, name, t)
+				if err != nil {
+					return err
+				}
+				if ok {
+					restore(name, arity, dl.HashAt(pos), t, pos)
+				}
+			}
+		}
+	} else {
+		for _, p := range ps.plans {
+			if err := runPlan(p, inst, -1, 0, 0, sink); err != nil {
+				return err
+			}
+		}
+	}
+	// Delta propagation over the restore windows.
+	for round := 0; ; round++ {
+		if round > e.limits.MaxIterations {
+			return fmt.Errorf("%w: %d rederivation rounds", ErrNonTermination, round)
+		}
+		cur := localSizes(ps.heads, inst)
+		grew := false
+		for name, n := range cur {
+			if n > prev[name] {
+				grew = true
+				break
+			}
+		}
+		if !grew {
+			return nil
+		}
+		for _, p := range ps.plans {
+			for _, stepIdx := range p.predSteps {
+				name := p.steps[stepIdx].pred.Name
+				if !ps.heads[name] {
+					continue
+				}
+				lo, hi := prev[name], cur[name]
+				if hi <= lo {
+					continue
+				}
+				if err := runPlan(p, inst, stepIdx, lo, hi, sink); err != nil {
+					return err
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// rederivable reports whether some rule of the stratum still derives
+// the fact name(t...) from the live state.
+func (m *maintenance) rederivable(ps *preparedStratum, name string, t instance.Tuple) (bool, error) {
+	return m.derivesGoal(ps, name, t, nil, 0)
+}
+
+// derivesGoal reports whether some rule of the stratum derives the
+// fact name(t...): the rule head is matched against the fact and the
+// body evaluated against the live state through the head-bound
+// rederive plan, stopping at the first derivation found. With boundRel
+// set (the overdeletion pruner), supports from boundRel must sit at
+// tuple-log positions below boundPos, and only selfContained rules are
+// considered — the well-founded variant of the check.
+func (m *maintenance) derivesGoal(ps *preparedStratum, name string, t instance.Tuple, boundRel *instance.Relation, boundPos int) (bool, error) {
+	stop := func(ast.Pred, *Env) error { return errStopRun }
+	for i, p := range ps.plans {
+		if p.rule.Head.Name != name {
+			continue
+		}
+		if boundRel != nil && !ps.selfContained[i] {
+			continue
+		}
+		rp := ps.rederive[i]
+		env := NewEnv()
+		found := false
+		var runErr error
+		env.MatchTuple(rp.rule.Head.Args, t, func() {
+			if found || runErr != nil {
+				return
+			}
+			opts := runOpts{negStep: -1, env: env, boundRel: boundRel, boundPos: boundPos}
+			err := runPlanOpts(rp, m.e.inst, -1, 0, 0, stop, opts)
+			switch {
+			case err == nil:
+			case errors.Is(err, errStopRun):
+				found = true
+			default:
+				runErr = err
+			}
+		})
+		if runErr != nil {
+			return false, runErr
+		}
+		if found {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// insert is phase 3; see the package comment.
+func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[string]int) error {
+	e := m.e
+	inst, limits := e.inst, e.limits
+	workers := limits.workers()
+	prev := localSizes(ps.heads, inst)
+	eligible := func(name string) []window {
+		var out []window
+		for _, w := range m.ins[name][insDone[name]:] {
+			if w.by <= si {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	// (a) positive deltas over the unconsumed insertion windows: the
+	// classic incremental round, fanned out when configured.
+	if workers > 1 {
+		var items []workItem
+		for _, p := range ps.plans {
+			for _, stepIdx := range p.predSteps {
+				for _, w := range eligible(p.steps[stepIdx].pred.Name) {
+					items = append(items, sliceWindow(p, stepIdx, w.lo, w.hi, workers)...)
+				}
+			}
+		}
+		if err := runRoundParallel(items, inst, workers, limits, &e.derived); err != nil {
+			return err
+		}
+	} else {
+		hb := &headScratch{}
+		sink := func(head ast.Pred, env *Env) error {
+			return derive(head, env, inst, limits, &e.derived, hb)
+		}
+		for _, p := range ps.plans {
+			for _, stepIdx := range p.predSteps {
+				for _, w := range eligible(p.steps[stepIdx].pred.Name) {
+					if err := runPlan(p, inst, stepIdx, w.lo, w.hi, sink); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	// (b) deletions under negation: a derivation blocked only by a fact
+	// this run removed (and did not restore) is new.
+	hb := &headScratch{}
+	sink := func(head ast.Pred, env *Env) error {
+		return derive(head, env, inst, limits, &e.derived, hb)
+	}
+	for _, p := range ps.plans {
+		for j, s := range p.steps {
+			if s.kind != stepNegPred {
+				continue
+			}
+			name := s.pred.Name
+			dl := m.del[name]
+			if dl == nil {
+				continue
+			}
+			ranges := m.delRanges(name, delDone[name], dl.Size(), si)
+			if len(ranges) == 0 {
+				continue
+			}
+			probe := func(h uint64, t instance.Tuple) bool {
+				pos := dl.PositionHashed(h, t)
+				if pos < 0 {
+					return false
+				}
+				in := false
+				for _, r := range ranges {
+					if pos >= r[0] && pos < r[1] {
+						in = true
+						break
+					}
+				}
+				if !in {
+					return false
+				}
+				// A fact deleted and later restored is not newly absent.
+				if rel := e.inst.Relation(name); rel != nil && rel.ContainsHashed(h, t) {
+					return false
+				}
+				return true
+			}
+			opts := runOpts{negStep: j, negProbe: probe}
+			if err := runPlanOpts(p, inst, -1, 0, 0, sink, opts); err != nil {
+				return err
+			}
+		}
+	}
+	// (c) chase the stratum-local consequences.
+	if err := fixpointRounds(ps.plans, ps.heads, inst, limits, &e.derived, prev); err != nil {
+		return err
+	}
+	// Record the insertion windows for downstream strata, and collapse
+	// facts that were both overdeleted and re-derived by (a)–(c) back to
+	// "unchanged": their deletion-log entry dies. (The insertion window
+	// still over-approximates by covering the re-derived positions;
+	// downstream overdeletion plus rederivation absorbs that.)
+	for _, name := range sortedNames(ps.heads) {
+		rel := inst.Relation(name)
+		if rel == nil {
+			continue
+		}
+		if hi := rel.Size(); hi > prev[name] {
+			m.ins[name] = append(m.ins[name], window{lo: prev[name], hi: hi, by: si})
+		}
+		dl := m.del[name]
+		if dl == nil {
+			continue
+		}
+		for pos := 0; pos < dl.Size(); pos++ {
+			if !dl.Live(pos) {
+				continue
+			}
+			h := dl.HashAt(pos)
+			if t := dl.TupleAt(pos); rel.ContainsHashed(h, t) {
+				dl.DeleteHashed(h, t)
+				m.rederived++
+			}
+		}
+	}
+	return nil
+}
+
+// consumedDeletion reports whether any stratum's cursor has already
+// moved past position pos of name's deletion log — i.e. some stratum
+// acted on that deletion before it was undone by a restoration.
+func (m *maintenance) consumedDeletion(name string, pos int) bool {
+	for _, dd := range m.delDone {
+		if dd[name] > pos {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

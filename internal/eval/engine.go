@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync"
 
-	"seqlog/internal/ast"
 	"seqlog/internal/instance"
 )
 
@@ -13,27 +12,29 @@ import (
 // fixpoint). Where Eval is batch — re-validate, re-plan, re-derive
 // everything per call — an Engine pays compilation and the initial
 // fixpoint once and then maintains the materialization incrementally
-// as new facts arrive (Assert), serving reads from consistent
-// copy-on-write snapshots in the meantime.
+// as facts arrive (Assert) and are withdrawn (Retract), serving reads
+// from consistent copy-on-write snapshots in the meantime. Both
+// directions run delete-and-rederive (DRed) maintenance; see dred.go.
 //
 // Concurrency: all Engine methods are safe for concurrent use; writes
-// (Assert) are serialized by an internal mutex, and reads (Query,
-// Holds, Snapshot, Stats) take the same mutex only long enough to
-// freeze the state they return. A snapshot, once returned, is
+// (Assert, Retract) are serialized by an internal mutex, and reads
+// (Query, Holds, Snapshot, Stats) take the same mutex only long enough
+// to freeze the state they return. A snapshot, once returned, is
 // immutable and may be read by any number of goroutines while further
-// Asserts proceed.
+// maintenance proceeds.
 type Engine struct {
-	mu      sync.Mutex
-	prep    *Prepared
-	limits  Limits
-	inst    *instance.Instance
-	derived int // IDB facts currently materialized beyond the seeds
-	asserts int
-	last    AssertStats
+	mu       sync.Mutex
+	prep     *Prepared
+	limits   Limits
+	inst     *instance.Instance
+	derived  int // IDB facts currently materialized beyond the seeds
+	asserts  int
+	retracts int
+	last     AssertStats
+	lastRet  RetractStats
 	// seeds holds, for every IDB relation that already had facts in the
-	// initial EDB, the frozen pre-fixpoint relation: the recompute path
-	// reinstates a seed before re-deriving, so EDB-provided facts of
-	// derived relations survive recomputation.
+	// initial EDB, the frozen pre-fixpoint relation: seed facts are base
+	// facts, not derivations, so overdeletion never removes them.
 	seeds map[string]*instance.Relation
 	// broken records a failed maintenance run: the materialization may
 	// be partial, so every later evaluation or read call fails fast
@@ -46,23 +47,42 @@ type AssertStats struct {
 	// Asserted counts the facts of the batch that were genuinely new
 	// (already-present facts are dropped and trigger no work).
 	Asserted int
-	// Derived counts the new IDB facts materialized by this Assert,
-	// net of any facts discarded by a recomputation.
+	// Derived is the net change in materialized IDB facts: facts
+	// derived minus facts invalidated. It is negative when insertions
+	// into negated relations invalidate more than the batch derives.
 	Derived int
+	// Overdeleted counts the IDB facts tombstoned by the overdeletion
+	// phase (derivations that may depend on a changed fact); Rederived
+	// counts how many of those were restored because an alternative
+	// derivation survives. Overdeleted - Rederived is the number of
+	// facts the batch genuinely invalidated.
+	Overdeleted int
+	Rederived   int
 	// StrataSkipped counts strata left completely untouched because no
-	// relation they read changed.
-	StrataSkipped int
-	// StrataIncremental counts strata maintained delta-first: only the
-	// consequences of the new facts were derived.
+	// relation they read changed; StrataIncremental counts strata
+	// maintained delta-first. Nothing is ever recomputed from scratch:
+	// negation is handled by targeted overdelete + rederive.
+	StrataSkipped     int
 	StrataIncremental int
-	// StrataRecomputed counts strata re-derived from scratch because a
-	// relation they negate changed (insertions can invalidate
-	// previously derived facts there; see RecomputeFrom).
-	StrataRecomputed int
-	// RecomputeFrom is the 1-based index of the first recomputed
-	// stratum — the incremental/recompute cutoff — or 0 when the whole
-	// Assert was maintained incrementally.
-	RecomputeFrom int
+}
+
+// RetractStats reports what one Retract call did.
+type RetractStats struct {
+	// Retracted counts the facts of the batch actually removed from the
+	// materialization (absent facts are dropped silently).
+	Retracted int
+	// Derived is the net change in materialized IDB facts — usually
+	// negative, but deletions can also enable new derivations through
+	// negation.
+	Derived int
+	// Overdeleted counts the IDB facts tombstoned by the overdeletion
+	// phase (the downward closure of the retracted facts); Rederived
+	// counts those restored by a surviving alternative derivation.
+	Overdeleted int
+	Rederived   int
+	// StrataSkipped / StrataIncremental: as in AssertStats.
+	StrataSkipped     int
+	StrataIncremental int
 }
 
 // EngineStats is a point-in-time summary of an engine.
@@ -72,10 +92,12 @@ type EngineStats struct {
 	// Derived is the number of materialized IDB facts beyond any
 	// EDB-provided seeds.
 	Derived int
-	// Asserts counts completed Assert calls.
-	Asserts int
-	// LastAssert is the stats of the most recent Assert.
-	LastAssert AssertStats
+	// Asserts and Retracts count completed maintenance calls.
+	Asserts  int
+	Retracts int
+	// LastAssert and LastRetract are the stats of the most recent calls.
+	LastAssert  AssertStats
+	LastRetract RetractStats
 }
 
 // NewEngine compiles nothing — prep is already compiled — but runs the
@@ -84,7 +106,7 @@ type EngineStats struct {
 // and not modified) extended with every derivable fact. A nil edb
 // means an empty one. The limits bound the engine for its lifetime;
 // MaxFacts caps the total number of materialized IDB facts across all
-// Asserts, not per call.
+// maintenance calls, not per call.
 func NewEngine(prep *Prepared, edb *instance.Instance, limits Limits) (*Engine, error) {
 	if edb == nil {
 		edb = instance.New()
@@ -114,10 +136,11 @@ func (e *Engine) Prepared() *Prepared { return e.prep }
 
 // Snapshot returns an immutable copy-on-write snapshot of the current
 // materialization (EDB and IDB facts): a consistent state that
-// concurrent Asserts never disturb. Taking a snapshot is O(#relations)
-// — no tuple is copied. Like every other read, it fails on an engine
-// whose maintenance previously failed (the materialization would be
-// partial); Stats stays available for diagnostics.
+// concurrent maintenance never disturbs. Taking a snapshot is
+// O(#relations) — no tuple is copied. Like every other read, it fails
+// on an engine whose maintenance previously failed (the
+// materialization would be partial); Stats stays available for
+// diagnostics.
 func (e *Engine) Snapshot() (*instance.Instance, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -130,7 +153,7 @@ func (e *Engine) Snapshot() (*instance.Instance, error) {
 // Query returns the materialized contents of one output relation, or
 // an empty relation of the right arity when the program names output
 // but nothing was derived. The returned relation is frozen, so it
-// stays valid (and constant) under concurrent Asserts. Unlike
+// stays valid (and constant) under concurrent maintenance. Unlike
 // eval.Query this does not evaluate anything: the engine is already at
 // fixpoint.
 func (e *Engine) Query(output string) (*instance.Relation, error) {
@@ -164,19 +187,33 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return EngineStats{
-		Facts:      e.inst.Facts(),
-		Derived:    e.derived,
-		Asserts:    e.asserts,
-		LastAssert: e.last,
+		Facts:       e.inst.Facts(),
+		Derived:     e.derived,
+		Asserts:     e.asserts,
+		Retracts:    e.retracts,
+		LastAssert:  e.last,
+		LastRetract: e.lastRet,
 	}
 }
 
-// stratum outcomes recorded while an Assert walks the program.
-const (
-	stratumSkipped = iota
-	stratumIncremental
-	stratumRecomputed
-)
+// validateBatch checks the semantic boundaries shared by Assert and
+// Retract: no IDB relations (derived facts are maintained, not edited)
+// and no arity clashes with the program or the materialization.
+func (e *Engine) validateBatch(delta *instance.Instance, verb string) error {
+	for _, name := range delta.Names() {
+		r := delta.Relation(name)
+		if e.prep.idb[name] {
+			return fmt.Errorf("eval: cannot %s IDB relation %q (defined by the program; derived facts are maintained, not %sed)", verb, name, verb)
+		}
+		if a, ok := e.prep.arities[name]; ok && a != r.Arity {
+			return fmt.Errorf("eval: %sing arity-%d tuples of relation %q used with arity %d by the program", verb, r.Arity, name, a)
+		}
+		if cur := e.inst.Relation(name); cur != nil && cur.Arity != r.Arity {
+			return fmt.Errorf("eval: %sing arity-%d tuples of existing arity-%d relation %q", verb, r.Arity, cur.Arity, name)
+		}
+	}
+	return nil
+}
 
 // Assert inserts a batch of new EDB facts and incrementally restores
 // the fixpoint: the inserted facts seed the semi-naive delta, so only
@@ -184,13 +221,12 @@ const (
 // are skipped outright, and the cost of an Assert scales with the
 // consequences of the batch, not with the size of the materialization.
 //
-// The exception is negation: a stratum that negates a changed relation
-// cannot be maintained by insertion alone (new facts can invalidate
-// old derivations), so from the first such stratum onward the engine
-// falls back to recomputation — those strata's derived facts are
-// discarded and re-derived from scratch. The cutoff is recorded in
-// AssertStats.RecomputeFrom. Deletion-aware maintenance (DRed) is a
-// ROADMAP item.
+// A stratum that negates a changed relation is maintained by targeted
+// delete-and-rederive instead of recomputation: derivations whose
+// negated atom matches an inserted fact are overdeleted, candidates
+// with surviving alternative derivations are restored, and the
+// resulting net deletions cascade to later strata exactly like a
+// Retract. AssertStats.Overdeleted/Rederived report that work.
 //
 // Facts may only be asserted into relations the program does not
 // define (non-IDB relations); arities must agree with the program and
@@ -204,203 +240,161 @@ func (e *Engine) Assert(delta *instance.Instance) (AssertStats, error) {
 		return AssertStats{}, e.broken
 	}
 	var stats AssertStats
-	names := delta.Names()
-	for _, name := range names {
-		r := delta.Relation(name)
-		if e.prep.idb[name] {
-			return stats, fmt.Errorf("eval: cannot assert into IDB relation %q (defined by the program; derived facts are maintained, not asserted)", name)
-		}
-		if a, ok := e.prep.arities[name]; ok && a != r.Arity {
-			return stats, fmt.Errorf("eval: asserting arity-%d tuples into relation %q used with arity %d by the program", r.Arity, name, a)
-		}
-		if cur := e.inst.Relation(name); cur != nil && cur.Arity != r.Arity {
-			return stats, fmt.Errorf("eval: asserting arity-%d tuples into existing arity-%d relation %q", r.Arity, cur.Arity, name)
-		}
+	if err := e.validateBatch(delta, "assert"); err != nil {
+		return stats, err
 	}
-	// base records every relation's length before the batch: the delta
-	// windows [base[name], Len) drive the incremental rounds, and after
-	// each stratum they widen to cover that stratum's derivations.
-	base := map[string]int{}
-	for _, name := range e.inst.Names() {
-		base[name] = e.inst.Relation(name).Len()
-	}
-	for _, name := range names {
+	batch := map[string][]window{}
+	for _, name := range delta.Names() {
 		src := delta.Relation(name)
+		if src.Len() == 0 {
+			continue
+		}
 		dst := e.inst.Ensure(name, src.Arity)
-		for i, t := range src.Tuples() {
+		lo := dst.Size()
+		for pos := 0; pos < src.Size(); pos++ {
+			if !src.Live(pos) {
+				continue
+			}
 			// AddFromScratch probes with the caller's tuple and copies it
 			// into engine-owned storage only when genuinely new.
-			if dst.AddFromScratch(src.HashAt(i), t) {
+			if dst.AddFromScratch(src.HashAt(pos), src.TupleAt(pos)) {
 				stats.Asserted++
 			}
 		}
+		if hi := dst.Size(); hi > lo {
+			batch[name] = append(batch[name], window{lo: lo, hi: hi, by: -1})
+		}
 	}
 	if stats.Asserted == 0 {
+		// The all-skipped fast path allocates no maintenance state.
 		stats.StrataSkipped = len(e.prep.strata)
 		e.asserts++
 		e.last = stats
 		return stats, nil
 	}
+	m := e.newMaintenance()
+	m.ins = batch
 	derivedBefore := e.derived
-	outcomes := make([]int, len(e.prep.strata))
-	cutoff := -1
-	for si := range e.prep.strata {
-		ps := &e.prep.strata[si]
-		changed := e.changedSince(base)
-		if anyIn(ps.negReads, changed) {
-			cutoff = si
-			break
-		}
-		if !anyIn(ps.reads, changed) {
-			outcomes[si] = stratumSkipped
-			continue
-		}
-		if err := e.maintainStratum(ps, base); err != nil {
-			e.broken = fmt.Errorf("engine: stratum %d maintenance failed, materialization is partial: %w", si+1, err)
-			return stats, e.broken
-		}
-		outcomes[si] = stratumIncremental
-	}
-	if cutoff >= 0 {
-		// A head defined both before and after the cutoff would lose its
-		// earlier-strata derivations if dropped, so widen the cutoff to
-		// the first stratum defining any head we are about to recompute.
-		for widened := true; widened; {
-			widened = false
-			for si := cutoff; si < len(e.prep.strata); si++ {
-				for h := range e.prep.strata[si].heads {
-					if fd := e.prep.firstDef[h]; fd < cutoff {
-						cutoff = fd
-						widened = true
-					}
-				}
-			}
-		}
-		stats.RecomputeFrom = cutoff + 1
-		// Discard the materialization of every head from the cutoff on,
-		// reinstating EDB seeds, then re-derive those strata in order.
-		dropped := map[string]bool{}
-		for si := cutoff; si < len(e.prep.strata); si++ {
-			for h := range e.prep.strata[si].heads {
-				if dropped[h] {
-					continue
-				}
-				dropped[h] = true
-				r := e.inst.Relation(h)
-				if r == nil {
-					continue
-				}
-				seedLen := 0
-				if s := e.seeds[h]; s != nil {
-					seedLen = s.Len()
-				}
-				e.derived -= r.Len() - seedLen
-				if s := e.seeds[h]; s != nil {
-					e.inst.Put(h, s) // frozen; Ensure clones before writes
-				} else {
-					e.inst.Remove(h)
-				}
-			}
-		}
-		for si := cutoff; si < len(e.prep.strata); si++ {
-			ps := &e.prep.strata[si]
-			if err := runStratum(ps.plans, ps.heads, e.inst, e.limits, &e.derived); err != nil {
-				e.broken = fmt.Errorf("engine: stratum %d recomputation failed, materialization is partial: %w", si+1, err)
-				return stats, e.broken
-			}
-			outcomes[si] = stratumRecomputed
-		}
-	}
-	for _, o := range outcomes {
-		switch o {
-		case stratumSkipped:
-			stats.StrataSkipped++
-		case stratumIncremental:
-			stats.StrataIncremental++
-		case stratumRecomputed:
-			stats.StrataRecomputed++
-		}
+	if err := m.run(); err != nil {
+		e.broken = fmt.Errorf("engine: maintenance failed, materialization is partial: %w", err)
+		return stats, e.broken
 	}
 	stats.Derived = e.derived - derivedBefore
+	stats.Overdeleted = m.overdeleted
+	stats.Rederived = m.rederived
+	stats.StrataSkipped = m.skipped
+	stats.StrataIncremental = m.incremental
+	e.compactTombstoned()
 	e.asserts++
 	e.last = stats
 	return stats, nil
 }
 
-// changedSince returns the set of relation names that grew since the
-// lengths recorded in base (including relations created since).
-func (e *Engine) changedSince(base map[string]int) map[string]bool {
-	changed := map[string]bool{}
+// Retract removes a batch of EDB facts and incrementally restores the
+// fixpoint by delete-and-rederive: the downward closure of the
+// retracted facts is overdeleted stratum by stratum, facts with
+// surviving alternative derivations are restored, and derivations that
+// were blocked only by a removed fact (negation) are added. The cost
+// scales with the consequences of the batch; strata reading no changed
+// relation are skipped.
+//
+// The same boundaries as Assert apply: only non-IDB relations may be
+// retracted from (derived facts disappear when their support does, not
+// by request), arities must agree, and facts not present are dropped
+// silently. On error the engine refuses further use.
+func (e *Engine) Retract(delta *instance.Instance) (RetractStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.broken != nil {
+		return RetractStats{}, e.broken
+	}
+	var stats RetractStats
+	if err := e.validateBatch(delta, "retract"); err != nil {
+		return stats, err
+	}
+	batch := map[string]*instance.Relation{}
+	for _, name := range delta.Names() {
+		src := delta.Relation(name)
+		if src.Len() == 0 {
+			continue
+		}
+		cur := e.inst.Relation(name)
+		if cur == nil {
+			continue
+		}
+		// Probe before the write barrier: a batch that removes nothing
+		// from this relation must not clone its frozen storage.
+		any := false
+		for pos := 0; pos < src.Size() && !any; pos++ {
+			if src.Live(pos) && cur.ContainsHashed(src.HashAt(pos), src.TupleAt(pos)) {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		dst := e.inst.Ensure(name, src.Arity)
+		dl := instance.NewRelation(src.Arity)
+		for pos := 0; pos < src.Size(); pos++ {
+			if !src.Live(pos) {
+				continue
+			}
+			h := src.HashAt(pos)
+			if t := src.TupleAt(pos); dst.DeleteHashed(h, t) {
+				dl.AddFromScratch(h, t)
+				stats.Retracted++
+			}
+		}
+		if dl.Len() > 0 {
+			batch[name] = dl
+		}
+	}
+	if stats.Retracted == 0 {
+		// The all-skipped fast path allocates no maintenance state.
+		stats.StrataSkipped = len(e.prep.strata)
+		e.retracts++
+		e.lastRet = stats
+		return stats, nil
+	}
+	m := e.newMaintenance()
+	for name, dl := range batch {
+		m.del[name] = dl
+		m.noteDel(name, -1) // batch deletions are visible to every stratum
+	}
+	derivedBefore := e.derived
+	if err := m.run(); err != nil {
+		e.broken = fmt.Errorf("engine: maintenance failed, materialization is partial: %w", err)
+		return stats, e.broken
+	}
+	stats.Derived = e.derived - derivedBefore
+	stats.Overdeleted = m.overdeleted
+	stats.Rederived = m.rederived
+	stats.StrataSkipped = m.skipped
+	stats.StrataIncremental = m.incremental
+	e.compactTombstoned()
+	e.retracts++
+	e.lastRet = stats
+	return stats, nil
+}
+
+// compactTombstoned reclaims tombstoned positions after a maintenance
+// run, amortized: a relation is compacted in place once tombstones
+// exceed a quarter of its live size, so a long retract series pays
+// O(live) compaction only every Θ(live/4) deletions, and a single
+// small retraction from a large materialization pays nothing. Frozen
+// relations are skipped this round — they are snapshot-shared and
+// immutable; the write barrier's position-preserving clone carries
+// their tombstones over, and a later pass here (or an explicit
+// Clone, which always compacts) reclaims them once the clone is
+// written and the threshold trips.
+func (e *Engine) compactTombstoned() {
 	for _, name := range e.inst.Names() {
-		if e.inst.Relation(name).Len() > base[name] {
-			changed[name] = true
+		r := e.inst.Relation(name)
+		if r.Frozen() {
+			continue
+		}
+		if t := r.Tombstones(); t > 0 && t*4 > r.Len() {
+			r.Compact()
 		}
 	}
-	return changed
-}
-
-func anyIn(set, changed map[string]bool) bool {
-	for name := range set {
-		if changed[name] {
-			return true
-		}
-	}
-	return false
-}
-
-// maintainStratum restores one stratum's fixpoint incrementally. The
-// delta round mirrors semi-naive round 0 with the roles inverted:
-// instead of evaluating every rule against the full instance, each
-// rule runs once per body predicate whose relation changed, with that
-// predicate restricted to the window of new facts [base, current).
-// Any derivation missing from the materialization must use at least
-// one new fact, so these restricted runs find them all; derivations
-// re-using only old facts are exactly the ones already materialized.
-// The standard fixpoint rounds then chase the stratum-local
-// consequences.
-func (e *Engine) maintainStratum(ps *preparedStratum, base map[string]int) error {
-	inst, limits := e.inst, e.limits
-	workers := limits.workers()
-	// The windows close at the lengths observed now: facts derived
-	// during the delta round land above them and are picked up by the
-	// fixpoint rounds via prev below.
-	cur := map[string]int{}
-	for _, name := range inst.Names() {
-		cur[name] = inst.Relation(name).Len()
-	}
-	prev := localLengths(ps.heads, inst)
-	if workers > 1 {
-		var items []workItem
-		for _, p := range ps.plans {
-			for _, stepIdx := range p.predSteps {
-				name := p.steps[stepIdx].pred.Name
-				lo, hi := base[name], cur[name]
-				if hi <= lo {
-					continue
-				}
-				items = append(items, sliceWindow(p, stepIdx, lo, hi, workers)...)
-			}
-		}
-		if err := runRoundParallel(items, inst, workers, limits, &e.derived); err != nil {
-			return err
-		}
-	} else {
-		hb := &headScratch{}
-		sink := func(head ast.Pred, env *Env) error {
-			return derive(head, env, inst, limits, &e.derived, hb)
-		}
-		for _, p := range ps.plans {
-			for _, stepIdx := range p.predSteps {
-				name := p.steps[stepIdx].pred.Name
-				lo, hi := base[name], cur[name]
-				if hi <= lo {
-					continue
-				}
-				if err := runPlan(p, inst, stepIdx, lo, hi, sink); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return fixpointRounds(ps.plans, ps.heads, inst, limits, &e.derived, prev)
 }

@@ -193,11 +193,11 @@ U($x) :- Q($x).`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Asserted != 2 || stats.StrataSkipped != 1 || stats.StrataIncremental != 1 || stats.StrataRecomputed != 0 {
+	if stats.Asserted != 2 || stats.StrataSkipped != 1 || stats.StrataIncremental != 1 {
 		t.Fatalf("stats = %+v, want 2 asserted, 1 skipped, 1 incremental", stats)
 	}
-	if stats.Derived != 2 || stats.RecomputeFrom != 0 {
-		t.Fatalf("stats = %+v, want Derived=2 RecomputeFrom=0", stats)
+	if stats.Derived != 2 || stats.Overdeleted != 0 || stats.Rederived != 0 {
+		t.Fatalf("stats = %+v, want Derived=2 and no DRed work", stats)
 	}
 	// A batch of already-known facts is a no-op: every stratum skipped.
 	stats, err = e.Assert(parser.MustParseInstance(`Q(c). R(a).`))
@@ -209,11 +209,12 @@ U($x) :- Q($x).`)
 	}
 }
 
-// TestEngineNegationFallback checks both negation regimes: asserting
-// into a relation an earlier stratum negates forces recomputation from
-// that stratum (facts derived under the old negation disappear), while
-// asserting facts no negation touches stays incremental.
-func TestEngineNegationFallback(t *testing.T) {
+// TestEngineNegationMaintenance checks both negation regimes:
+// asserting into a relation an earlier stratum negates invalidates
+// previously derived facts — maintained by targeted overdelete +
+// rederive, never recomputation — while asserting facts no negation
+// touches derives delta-first only.
+func TestEngineNegationMaintenance(t *testing.T) {
 	// W = nodes with an edge to a non-black node; S = edge sources not
 	// in W (Theorem 5.5 shape, see TestBlackNodesStratifiedNegation).
 	prog := parser.MustParseProgram(`
@@ -242,28 +243,33 @@ S(@x) :- R(@x.@y), !W(@x).`)
 	if got() != "[d]" {
 		t.Fatalf("S = %s, want [d]", got())
 	}
-	// c becomes black: a's last non-black edge target goes away, so a
-	// joins S. Both strata negate-read a changed relation transitively:
-	// stratum 1 negates B (changed), so everything recomputes.
+	// c becomes black: a's last non-black edge target goes away. W(a)
+	// is overdeleted (its only derivations used !B(c) or !B(b)), no
+	// alternative derivation rederives it, and the net deletion of W(a)
+	// enables S(a) through stratum 2's negation — all without
+	// recomputing either stratum.
 	stats, err := e.Assert(parser.MustParseInstance(`B(c).`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.StrataRecomputed != 2 || stats.RecomputeFrom != 1 {
-		t.Fatalf("stats = %+v, want both strata recomputed from 1", stats)
+	if stats.StrataIncremental != 2 || stats.Overdeleted != 1 || stats.Rederived != 0 {
+		t.Fatalf("stats = %+v, want 2 incremental strata with 1 overdeletion", stats)
+	}
+	if stats.Derived != 0 { // -W(a) +S(a)
+		t.Fatalf("stats = %+v, want net Derived=0 (one fact lost, one gained)", stats)
 	}
 	if got() != "[a d]" {
 		t.Fatalf("after B(c): S = %s, want [a d]", got())
 	}
-	// Asserting an edge only changes R: stratum 1 reads R positively
-	// (incremental), but stratum 2 negates W, which grew — so the
-	// fallback cuts in at stratum 2.
+	// Asserting an edge only changes R: stratum 1 derives W(e)
+	// delta-first; stratum 2 sees the W insertion under negation but
+	// finds no materialized fact to invalidate (S(e) never held).
 	stats, err = e.Assert(parser.MustParseInstance(`R(e.f).`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.StrataIncremental != 1 || stats.StrataRecomputed != 1 || stats.RecomputeFrom != 2 {
-		t.Fatalf("stats = %+v, want stratum 1 incremental, stratum 2 recomputed", stats)
+	if stats.StrataIncremental != 2 || stats.Overdeleted != 0 || stats.Derived != 1 {
+		t.Fatalf("stats = %+v, want 2 incremental strata, 1 derived (W(e)), nothing overdeleted", stats)
 	}
 	if got() != "[a d]" {
 		t.Fatalf("after R(e.f): S = %s, want [a d]", got())
@@ -274,13 +280,14 @@ S(@x) :- R(@x.@y), !W(@x).`)
 		t.Fatal(err)
 	}
 	if snap := mustSnapshot(t, e); !snap.Equal(want) {
-		t.Fatalf("negation fallback diverged: %s", instance.Diff(snap, want))
+		t.Fatalf("negation maintenance diverged: %s", instance.Diff(snap, want))
 	}
 }
 
-// TestEngineSeedIDBFactsSurviveRecompute: EDB-provided facts of an IDB
-// relation must survive the negation fallback's discard-and-rederive.
-func TestEngineSeedIDBFactsSurviveRecompute(t *testing.T) {
+// TestEngineSeedIDBFactsSurviveOverdeletion: EDB-provided facts of an
+// IDB relation are base facts, not derivations — overdeletion must
+// never remove them.
+func TestEngineSeedIDBFactsSurviveOverdeletion(t *testing.T) {
 	prog := parser.MustParseProgram(`
 S($x) :- R($x), !B($x).`)
 	prep, err := Compile(prog)
@@ -296,8 +303,8 @@ S($x) :- R($x), !B($x).`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.StrataRecomputed != 1 {
-		t.Fatalf("stats = %+v, want a recompute", stats)
+	if stats.Overdeleted != 1 || stats.Rederived != 0 || stats.Derived != -1 {
+		t.Fatalf("stats = %+v, want S(b) overdeleted and not rederived", stats)
 	}
 	r, err := e.Query("S")
 	if err != nil {

@@ -115,14 +115,16 @@ func Explain(prog ast.Program) ([]string, error) {
 	return p.Explain(), nil
 }
 
-// localLengths returns the current length of every local (head)
-// relation present in the instance; absent relations are simply not in
-// the map, which reads as length 0.
-func localLengths(local map[string]bool, inst *instance.Instance) map[string]int {
+// localSizes returns the current tuple-log high-water mark (Size, not
+// the live count) of every local (head) relation present in the
+// instance; absent relations are simply not in the map, which reads as
+// 0. Delta windows are position ranges, so all watermark bookkeeping
+// uses Size — with tombstones present Len would undercount positions.
+func localSizes(local map[string]bool, inst *instance.Instance) map[string]int {
 	m := make(map[string]int, len(local))
 	for name := range local {
 		if rel := inst.Relation(name); rel != nil {
-			m[name] = rel.Len()
+			m[name] = rel.Size()
 		}
 	}
 	return m
@@ -150,7 +152,7 @@ func runStratum(plans []*plan, local map[string]bool, inst *instance.Instance, l
 	}
 
 	// Round 0: evaluate every rule against the full instance.
-	prev := localLengths(local, inst)
+	prev := localSizes(local, inst)
 	if workers > 1 {
 		items := make([]workItem, len(plans))
 		for i, p := range plans {
@@ -182,7 +184,7 @@ func fixpointRounds(plans []*plan, local map[string]bool, inst *instance.Instanc
 		return derive(head, env, inst, limits, derived, hb)
 	}
 	for iter := 0; ; iter++ {
-		cur := localLengths(local, inst)
+		cur := localSizes(local, inst)
 		grew := false
 		for name, n := range cur {
 			if n > prev[name] {
@@ -242,12 +244,58 @@ type stepScratch struct {
 	bufB value.Path     // right side of negated equations
 }
 
+// runOpts extends a plan run for the DRed maintenance phases; the zero
+// value (with negStep -1) is an ordinary run.
+type runOpts struct {
+	// deltaRel substitutes a side relation for the delta step's
+	// relation: the step iterates deltaRel's window instead of the
+	// instance relation of the same name. The overdeletion phase uses it
+	// to join the set of deleted facts against the rest of the body.
+	deltaRel *instance.Relation
+	// includeDead makes non-delta positive predicate steps match
+	// tombstoned tuples too, so the join sees a superset of the
+	// pre-deletion state: live tuples plus every tombstone not yet
+	// compacted (this run's deletions, and any stale ones below the
+	// engine's amortized-compaction threshold). A superset is exactly
+	// the direction DRed's overdeletion needs — extra candidates are
+	// restored by rederivation — and the stale tombstones only cost
+	// churn, never correctness. The delta step always skips tombstones.
+	includeDead bool
+	// negStep, when >= 0, turns the negated predicate step at that index
+	// into a positive delta probe: the step succeeds exactly when
+	// negProbe accepts the ground tuple (instead of when the relation
+	// does not contain it). Used to restrict a run to derivations that
+	// depend on a change of the negated relation.
+	negStep  int
+	negProbe func(h uint64, t instance.Tuple) bool
+	// boundRel/boundPos restrict positive steps over boundRel to live
+	// tuples at tuple-log positions below boundPos. The overdeletion
+	// pruner uses this as its well-founded support check: a candidate at
+	// position p may only be justified by same-relation facts strictly
+	// older than p, so chains of justifications ground out and circular
+	// keep-alives are impossible.
+	boundRel *instance.Relation
+	boundPos int
+	// env pre-seeds the valuation (goal-directed rederivation binds the
+	// head against a candidate fact before running the body). Nil means
+	// a fresh environment.
+	env *Env
+}
+
 // runPlan evaluates one rule, feeding every derivation to sink. If
 // deltaStep >= 0, the positive predicate at that step index iterates
 // only the insertion window [deltaLo, deltaHi) of its relation instead
 // of all tuples.
 func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, sink sinkFunc) error {
-	env := NewEnv()
+	return runPlanOpts(p, inst, deltaStep, deltaLo, deltaHi, sink, runOpts{negStep: -1})
+}
+
+// runPlanOpts is runPlan with the DRed extensions; see runOpts.
+func runPlanOpts(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, sink sinkFunc, opts runOpts) error {
+	env := opts.env
+	if env == nil {
+		env = NewEnv()
+	}
 	// Resolve each step's relation and exact index once per run: exec
 	// fires once per binding reaching the step, far too hot for map and
 	// index-signature lookups. A relation first created by this very
@@ -268,6 +316,9 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 			continue
 		}
 		rels[i] = inst.Relation(s.pred.Name)
+		if i == deltaStep && opts.deltaRel != nil {
+			rels[i] = opts.deltaRel
+		}
 		if s.kind == stepPred && IndexedJoins && rels[i] != nil &&
 			rels[i].Arity == len(s.pred.Args) && len(s.boundCols) > 0 {
 			idxs[i] = rels[i].Index(s.boundCols...)
@@ -294,10 +345,20 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 				evalErr = fmt.Errorf("predicate %s used with arity %d but relation has arity %d", s.pred.Name, len(s.pred.Args), rel.Arity)
 				return
 			}
-			lo, hi := 0, rel.Len()
+			lo, hi := 0, rel.Size()
 			if i == deltaStep {
 				lo, hi = deltaLo, deltaHi
 			}
+			// Well-founded support check: only tuples older than the
+			// candidate under examination may justify it (see runOpts).
+			if opts.boundRel == rel && hi > opts.boundPos {
+				hi = opts.boundPos
+			}
+			// The delta step always skips tombstoned positions (a deleted
+			// or rederived fact is no longer part of the delta); other
+			// steps skip them too unless the run joins against the
+			// pre-deletion state (opts.includeDead, the DRed overdelete).
+			liveOnly := !opts.includeDead || i == deltaStep
 			sc := &scratch[i]
 			if idxs[i] != nil {
 				// Exact probe: the ground argument positions pick the
@@ -307,7 +368,13 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 				for j, c := range s.boundCols {
 					sc.vals[j] = env.EvalAppend(s.pred.Args[c], sc.vals[j][:0])
 				}
-				for _, pos := range idxs[i].Lookup(sc.vals...) {
+				var poss []int
+				if liveOnly {
+					poss = idxs[i].Lookup(sc.vals...)
+				} else {
+					poss = idxs[i].LookupAll(sc.vals...)
+				}
+				for _, pos := range poss {
 					if pos < lo || pos >= hi {
 						continue
 					}
@@ -332,7 +399,13 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 				sc.bufA = env.EvalAppend(s.pred.Args[s.prefixCol][:s.prefixLen], sc.bufA[:0])
 				prefix := sc.bufA
 				if len(prefix) > 0 {
-					for _, pos := range rel.PrefixLookup(s.prefixCol, prefix) {
+					var poss []int
+					if liveOnly {
+						poss = rel.PrefixLookup(s.prefixCol, prefix)
+					} else {
+						poss = rel.PrefixLookupAll(s.prefixCol, prefix)
+					}
+					for _, pos := range poss {
 						if pos < lo || pos >= hi {
 							continue
 						}
@@ -344,8 +417,11 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 					return
 				}
 			}
-			for _, t := range rel.Slice(lo, hi) {
-				env.MatchTuple(s.pred.Args, t, func() { exec(i + 1) })
+			for pos := lo; pos < hi; pos++ {
+				if liveOnly && !rel.Live(pos) {
+					continue
+				}
+				env.MatchTuple(s.pred.Args, rel.TupleAt(pos), func() { exec(i + 1) })
 				if evalErr != nil {
 					return
 				}
@@ -363,6 +439,21 @@ func runPlan(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi int, 
 			// relations live in earlier strata, so the resolution
 			// hoisted above cannot go stale mid-run.
 			sc := &scratch[i]
+			if i == opts.negStep {
+				// Delta probe: the run is restricted to derivations that
+				// depend on a change of this negated relation, so the
+				// step succeeds exactly when the ground tuple is in the
+				// change set (and fails otherwise, replacing the normal
+				// absence check; the probe itself encodes the required
+				// relationship to the live relation).
+				for k, a := range s.pred.Args {
+					sc.neg[k] = env.EvalAppend(a, sc.neg[k][:0])
+				}
+				if opts.negProbe(sc.neg.Hash(), sc.neg) {
+					exec(i + 1)
+				}
+				return
+			}
 			if rel := rels[i]; rel != nil {
 				for k, a := range s.pred.Args {
 					sc.neg[k] = env.EvalAppend(a, sc.neg[k][:0])

@@ -188,10 +188,16 @@ func runRoundParallel(items []workItem, inst *instance.Instance, workers int, li
 		for _, name := range buf.Names() {
 			rel := buf.Relation(name)
 			dst := inst.Ensure(name, rel.Arity)
-			for i, t := range rel.Tuples() {
+			for pos := 0; pos < rel.Size(); pos++ {
+				if !rel.Live(pos) {
+					continue
+				}
 				// Reuse the hash the buffer computed when the worker
-				// derived the tuple; the merge never rehashes.
-				if dst.AddHashed(rel.HashAt(i), t) {
+				// derived the tuple; the merge never rehashes. (Worker
+				// buffers are never deleted from today, but the
+				// position-based loop keeps tuple↔hash pairing correct
+				// even if that ever changes.)
+				if dst.AddHashed(rel.HashAt(pos), rel.TupleAt(pos)) {
 					*derived++
 					if *derived > limits.MaxFacts {
 						return fmt.Errorf("%w: more than %d derived facts", ErrNonTermination, limits.MaxFacts)

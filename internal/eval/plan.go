@@ -63,8 +63,22 @@ type plan struct {
 // compile orders the body literals of a safe rule per §2.2's limited
 // variable closure. It fails on unsafe rules.
 func compile(r ast.Rule) (*plan, error) {
+	return compileWith(r, nil)
+}
+
+// compileWith is compile with a set of variables assumed bound before
+// the first step runs. The rederivation planner passes the head
+// variables: goal-directed rederivation checks execute the body under
+// an environment where the head has already been matched against a
+// candidate fact, so argument positions mentioning only head variables
+// are ground there and the ordering/annotation should exploit them
+// (index and prefix probes instead of scans).
+func compileWith(r ast.Rule, preBound []ast.Var) (*plan, error) {
 	p := &plan{rule: r}
 	bound := map[ast.Var]bool{}
+	for _, v := range preBound {
+		bound[v] = true
+	}
 	// 1. Positive predicates, greedily ordered by bound-variable count:
 	// at each point pick the atom with the most fully bound argument
 	// positions (then the longest ground argument prefix, then the most

@@ -14,6 +14,19 @@ import (
 type preparedStratum struct {
 	rules ast.Stratum
 	plans []*plan
+	// rederive[i] is plans[i]'s rule compiled with its head variables
+	// pre-bound: the access-path plan for goal-directed rederivation
+	// checks, where the head is matched against a candidate fact before
+	// the body runs (see maintenance.rederivable).
+	rederive []*plan
+	// selfContained[i] reports that no positive body predicate of
+	// plans[i] is a head of this or any later stratum, other than the
+	// rule's own head relation. Only such rules can serve the
+	// overdeletion pruner's well-founded support check: its decreasing
+	// measure is the tuple-log position within one relation, which says
+	// nothing about cycles through a different relation that is still
+	// in flux (mutual recursion, or a forward-referenced later head).
+	selfContained []bool
 	// heads is the set of relation names defined by this stratum.
 	heads map[string]bool
 	// reads is the set of relation names occurring in positive body
@@ -38,10 +51,6 @@ type Prepared struct {
 	arities map[string]int
 	// idb marks the relation names defined by some rule head.
 	idb map[string]bool
-	// firstDef maps each head name to the first stratum defining it
-	// (heads may repeat across handwritten strata); the engine's
-	// recompute path widens its cutoff to cover shared definitions.
-	firstDef map[string]int
 }
 
 // Compile validates and plans a program once, returning a reusable
@@ -58,10 +67,9 @@ func Compile(prog ast.Program) (*Prepared, error) {
 	}
 	prog = prog.Clone()
 	p := &Prepared{
-		prog:     prog,
-		arities:  arities,
-		idb:      map[string]bool{},
-		firstDef: map[string]int{},
+		prog:    prog,
+		arities: arities,
+		idb:     map[string]bool{},
 	}
 	for si, stratum := range prog.Strata {
 		ps := preparedStratum{
@@ -75,12 +83,18 @@ func Compile(prog ast.Program) (*Prepared, error) {
 			if err != nil {
 				return nil, fmt.Errorf("stratum %d: %w", si+1, err)
 			}
+			var headVars []ast.Var
+			for _, a := range r.Head.Args {
+				headVars = append(headVars, a.Vars()...)
+			}
+			rp, err := compileWith(r, headVars)
+			if err != nil {
+				return nil, fmt.Errorf("stratum %d (rederive plan): %w", si+1, err)
+			}
 			ps.plans = append(ps.plans, pl)
+			ps.rederive = append(ps.rederive, rp)
 			ps.heads[r.Head.Name] = true
 			p.idb[r.Head.Name] = true
-			if _, ok := p.firstDef[r.Head.Name]; !ok {
-				p.firstDef[r.Head.Name] = si
-			}
 			for _, l := range r.Body {
 				if pr, ok := l.Atom.(ast.Pred); ok {
 					if l.Neg {
@@ -92,6 +106,26 @@ func Compile(prog ast.Program) (*Prepared, error) {
 			}
 		}
 		p.strata = append(p.strata, ps)
+	}
+	// selfContained needs the heads of every stratum from the current
+	// one on, so compute it in a suffix pass once all strata are built.
+	headFrom := map[string]bool{}
+	for si := len(p.strata) - 1; si >= 0; si-- {
+		ps := &p.strata[si]
+		for name := range ps.heads {
+			headFrom[name] = true
+		}
+		for _, r := range ps.rules {
+			self := true
+			for _, l := range r.Body {
+				if pr, ok := l.Atom.(ast.Pred); ok && !l.Neg &&
+					headFrom[pr.Name] && pr.Name != r.Head.Name {
+					self = false
+					break
+				}
+			}
+			ps.selfContained = append(ps.selfContained, self)
+		}
 	}
 	return p, nil
 }

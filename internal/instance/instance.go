@@ -78,6 +78,17 @@ func (t Tuple) String() string {
 // (Index) and column prefixes (PrefixLookup) are built lazily on first
 // lookup and caught up after later Adds, so they are never stale.
 //
+// Deletion is tombstone-based: Delete marks the tuple's position dead
+// and removes it from the membership index, but the position itself
+// stays occupied so that delta windows over the tuple log ([lo, hi)
+// position ranges handed out while the relation was larger) remain
+// valid. Live reports whether a position still holds a fact; Len counts
+// live tuples while Size is the position high-water mark including
+// tombstones. Tombstones are reclaimed by Compact (in place) or Clone
+// (the copy is always compacted); the copy-on-write clone used by
+// Instance.Ensure deliberately preserves positions instead, so
+// maintenance windows survive the write barrier.
+//
 // Concurrency contract: a Relation is safe for any number of
 // concurrent readers as long as no writer runs at the same time. The
 // read set includes every probe — Contains, Tuples, TupleAt, Slice,
@@ -100,6 +111,12 @@ type Relation struct {
 	buckets map[uint64][]int // tuple hash -> positions (collision buckets)
 	tuples  []Tuple
 	hashes  []uint64 // hashes[i] is the precomputed tuples[i].Hash()
+
+	// dead[i] marks position i tombstoned (nil until the first Delete;
+	// kept in step with tuples afterwards); tombs counts the dead
+	// positions, so Live's fast path is a single integer check.
+	dead  []bool
+	tombs int
 
 	// frozen marks the relation copy-on-write: its tuple storage is
 	// shared with at least one snapshot and must never be written again.
@@ -168,10 +185,96 @@ func (r *Relation) AddHashed(h uint64, t Tuple) bool {
 	r.buckets[h] = append(r.buckets[h], len(r.tuples))
 	r.tuples = append(r.tuples, t)
 	r.hashes = append(r.hashes, h)
+	if r.dead != nil {
+		r.dead = append(r.dead, false)
+	}
 	return true
 }
 
-// Contains reports membership via the full-tuple hash index.
+// Delete removes a tuple, reporting whether it was present. The
+// position is tombstoned, not reclaimed: Size and existing delta
+// windows are unaffected, Len shrinks, and membership probes stop
+// seeing the tuple immediately. Deleting from a frozen relation panics,
+// exactly like Add — deletion goes through Instance.Ensure like every
+// other write.
+func (r *Relation) Delete(t Tuple) bool {
+	return r.DeleteHashed(t.Hash(), t)
+}
+
+// DeleteHashed is Delete with the tuple's precomputed hash (h must
+// equal t.Hash()), so callers that already probed do not rehash.
+func (r *Relation) DeleteHashed(h uint64, t Tuple) bool {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("instance: arity mismatch: tuple %v deleted from arity-%d relation", t, r.Arity))
+	}
+	if r.frozen.Load() {
+		panic("instance: write to a frozen relation (snapshot-shared storage; clone it or go through Instance.Ensure)")
+	}
+	pos := r.lookupHashed(h, t)
+	if pos < 0 {
+		return false
+	}
+	// Drop the position from its membership bucket so Contains and
+	// lookupHashed never see it again; secondary indexes keep the
+	// position and filter it via Live at lookup time.
+	bucket := r.buckets[h]
+	for k, p := range bucket {
+		if p == pos {
+			if len(bucket) == 1 {
+				delete(r.buckets, h)
+			} else {
+				r.buckets[h] = append(bucket[:k], bucket[k+1:]...)
+			}
+			break
+		}
+	}
+	if r.dead == nil {
+		r.dead = make([]bool, len(r.tuples))
+	}
+	r.dead[pos] = true
+	r.tombs++
+	return true
+}
+
+// Live reports whether the tuple at position pos has not been deleted.
+func (r *Relation) Live(pos int) bool { return r.tombs == 0 || !r.dead[pos] }
+
+// Tombstones returns the number of tombstoned positions (Size - Len).
+func (r *Relation) Tombstones() int { return r.tombs }
+
+// Compact reclaims tombstoned positions in place: live tuples are
+// renumbered densely and every secondary index is dropped (they rebuild
+// lazily on next use). Positions change, so callers holding delta
+// windows or Index handles must not call Compact while they are in
+// flight; the engine compacts only between maintenance runs.
+func (r *Relation) Compact() {
+	if r.tombs == 0 {
+		return
+	}
+	if r.frozen.Load() {
+		panic("instance: compaction of a frozen relation (snapshot-shared storage)")
+	}
+	tuples := make([]Tuple, 0, len(r.tuples)-r.tombs)
+	hashes := make([]uint64, 0, len(r.tuples)-r.tombs)
+	buckets := make(map[uint64][]int, len(r.buckets))
+	for i, t := range r.tuples {
+		if r.dead[i] {
+			continue
+		}
+		h := r.hashes[i]
+		buckets[h] = append(buckets[h], len(tuples))
+		tuples = append(tuples, t)
+		hashes = append(hashes, h)
+	}
+	r.tuples, r.hashes, r.buckets = tuples, hashes, buckets
+	r.dead, r.tombs = nil, 0
+	r.mu.Lock()
+	r.indexes, r.prefixes = nil, nil
+	r.mu.Unlock()
+}
+
+// Contains reports membership via the full-tuple hash index; deleted
+// tuples are not members.
 func (r *Relation) Contains(t Tuple) bool {
 	return r.lookupHashed(t.Hash(), t) >= 0
 }
@@ -181,6 +284,14 @@ func (r *Relation) Contains(t Tuple) bool {
 // then inserting — without rehashing.
 func (r *Relation) ContainsHashed(h uint64, t Tuple) bool {
 	return r.lookupHashed(h, t) >= 0
+}
+
+// PositionHashed returns the tuple-log position of the live tuple equal
+// to t (whose hash h must equal t.Hash()), or -1 when absent. The DRed
+// maintainer uses it to test whether a fact lies inside an insertion
+// window.
+func (r *Relation) PositionHashed(h uint64, t Tuple) int {
+	return r.lookupHashed(h, t)
 }
 
 // HashAt returns the precomputed hash of the tuple at insertion
@@ -206,6 +317,9 @@ func (r *Relation) AddFromScratch(h uint64, t Tuple) bool {
 	r.buckets[h] = append(r.buckets[h], len(r.tuples))
 	r.tuples = append(r.tuples, CopyTuple(t))
 	r.hashes = append(r.hashes, h)
+	if r.dead != nil {
+		r.dead = append(r.dead, false)
+	}
 	return true
 }
 
@@ -230,38 +344,76 @@ func CopyTuple(t Tuple) Tuple {
 	return out
 }
 
-// Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+// Len returns the number of live tuples (the relation's cardinality).
+func (r *Relation) Len() int { return len(r.tuples) - r.tombs }
 
-// Tuples returns the tuples in insertion order. The slice is shared;
-// callers must not mutate it. Relations are append-only, so ranging
-// over the returned slice while concurrently Adding to the relation is
-// safe and iterates a consistent snapshot: the range sees exactly the
-// tuples present when Tuples was called (the evaluator relies on this
-// when a rule derives into the relation it is scanning).
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// Size returns the position high-water mark of the tuple log,
+// tombstones included. Delta windows and position-based iteration
+// (TupleAt/HashAt/Live) range over [0, Size); Size equals Len whenever
+// nothing was deleted since the last compaction.
+func (r *Relation) Size() int { return len(r.tuples) }
 
-// TupleAt returns the tuple at insertion position i.
+// Tuples returns the live tuples in insertion order. With no
+// tombstones the slice is shared (callers must not mutate it) and,
+// relations then being append-only, ranging over it while concurrently
+// Adding is safe and iterates a consistent snapshot. With tombstones
+// present a filtered copy is returned, and indexes into it do NOT
+// correspond to tuple-log positions — use Size/Live/TupleAt/HashAt for
+// position-based iteration.
+func (r *Relation) Tuples() []Tuple {
+	if r.tombs == 0 {
+		return r.tuples
+	}
+	out := make([]Tuple, 0, r.Len())
+	for i, t := range r.tuples {
+		if !r.dead[i] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TupleAt returns the tuple at tuple-log position i. Delta-aware
+// consumers (the semi-naive evaluator's windows) iterate positions
+// [lo, hi) with TupleAt, skipping tombstones via Live; there is
+// deliberately no slice accessor over a position range, because such
+// a slice would silently include deleted tuples.
 func (r *Relation) TupleAt(i int) Tuple { return r.tuples[i] }
 
-// Slice returns the tuples at insertion positions [lo, hi): delta-aware
-// iteration for semi-naive evaluation, where [lo, hi) is the window of
-// facts derived in the previous round. The slice is shared; callers
-// must not mutate it.
-func (r *Relation) Slice(lo, hi int) []Tuple { return r.tuples[lo:hi] }
-
-// Sorted returns the tuples in canonical order.
+// Sorted returns the live tuples in canonical order.
 func (r *Relation) Sorted() []Tuple {
-	out := make([]Tuple, len(r.tuples))
-	copy(out, r.tuples)
+	out := make([]Tuple, 0, r.Len())
+	for i, t := range r.tuples {
+		if r.tombs != 0 && r.dead[i] {
+			continue
+		}
+		out = append(out, t)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
 
-// Clone returns an independent copy of the relation. The precomputed
-// tuple hashes and membership buckets are copied, not recomputed;
-// secondary indexes are rebuilt lazily on the copy when first used.
+// Clone returns an independent, compacted copy of the relation:
+// tombstoned positions are dropped and live tuples renumbered densely.
+// The precomputed tuple hashes are reused, membership buckets are
+// copied (or rebuilt when compaction renumbers), and secondary indexes
+// are rebuilt lazily on the copy when first used.
 func (r *Relation) Clone() *Relation {
+	if r.tombs != 0 {
+		out := NewRelation(r.Arity)
+		out.tuples = make([]Tuple, 0, r.Len())
+		out.hashes = make([]uint64, 0, r.Len())
+		for i, t := range r.tuples {
+			if r.dead[i] {
+				continue
+			}
+			h := r.hashes[i]
+			out.buckets[h] = append(out.buckets[h], len(out.tuples))
+			out.tuples = append(out.tuples, t)
+			out.hashes = append(out.hashes, h)
+		}
+		return out
+	}
 	out := &Relation{
 		Arity:   r.Arity,
 		buckets: make(map[uint64][]int, len(r.buckets)),
@@ -276,12 +428,39 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
-// Equal reports set equality of two relations.
+// cloneExact returns an independent copy that preserves tuple-log
+// positions, tombstones included. Instance.Ensure uses it as the
+// copy-on-write barrier so that delta windows recorded against the
+// frozen original stay valid against the writable clone; everything
+// else should use Clone, which compacts.
+func (r *Relation) cloneExact() *Relation {
+	out := &Relation{
+		Arity:   r.Arity,
+		buckets: make(map[uint64][]int, len(r.buckets)),
+		tuples:  make([]Tuple, len(r.tuples)),
+		hashes:  make([]uint64, len(r.hashes)),
+		tombs:   r.tombs,
+	}
+	copy(out.tuples, r.tuples)
+	copy(out.hashes, r.hashes)
+	if r.dead != nil {
+		out.dead = append([]bool(nil), r.dead...)
+	}
+	for h, bucket := range r.buckets {
+		out.buckets[h] = append([]int(nil), bucket...)
+	}
+	return out
+}
+
+// Equal reports set equality of two relations (live tuples only).
 func (r *Relation) Equal(s *Relation) bool {
 	if r.Len() != s.Len() || r.Arity != s.Arity {
 		return false
 	}
 	for i, t := range r.tuples {
+		if r.tombs != 0 && r.dead[i] {
+			continue
+		}
 		if s.lookupHashed(r.hashes[i], t) < 0 {
 			return false
 		}
@@ -406,16 +585,32 @@ func (ix *Index) CatchUp() {
 	ix.upto.Store(int64(n))
 }
 
-// Lookup returns the insertion positions (ascending) of the tuples
-// whose indexed columns equal vals component-wise. Hash collisions are
-// verified, so every returned position is a true match. The returned
-// slice is shared with the index; callers must not mutate it.
+// Lookup returns the tuple-log positions (ascending) of the live
+// tuples whose indexed columns equal vals component-wise. Hash
+// collisions and tombstones are verified, so every returned position
+// is a true, live match. The returned slice is shared with the index;
+// callers must not mutate it.
 func (ix *Index) Lookup(vals ...value.Path) []int {
+	return ix.lookup(vals, false)
+}
+
+// LookupAll is Lookup including tombstoned positions. The DRed
+// overdeletion phase uses it to join against the pre-deletion state of
+// a relation (live tuples plus everything deleted during the current
+// maintenance run, which is exactly the set still occupying positions).
+func (ix *Index) LookupAll(vals ...value.Path) []int {
+	return ix.lookup(vals, true)
+}
+
+func (ix *Index) lookup(vals []value.Path, includeDead bool) []int {
 	if len(vals) != len(ix.cols) {
 		panic(fmt.Sprintf("instance: index over %d columns probed with %d values", len(ix.cols), len(vals)))
 	}
 	ix.CatchUp()
 	return verifyBucket(ix.m[hashPaths(vals)], func(pos int) bool {
+		if !includeDead && !ix.r.Live(pos) {
+			return false
+		}
 		t := ix.r.tuples[pos]
 		for j, c := range ix.cols {
 			if !t[c].Equal(vals[j]) {
@@ -455,18 +650,28 @@ func (r *Relation) catchUpPrefix(ix *prefixIndex, key prefixKey) {
 	ix.upto.Store(int64(n))
 }
 
-// PrefixLookup returns the insertion positions (ascending) of the
+// PrefixLookup returns the tuple-log positions (ascending) of the live
 // tuples whose column col starts with the given non-empty prefix. A
 // separate index per (col, len(prefix)) is built lazily and caught up
-// after Adds. Collisions are verified; the returned slice is shared.
-// Like Lookup, PrefixLookup is safe from concurrent readers while the
-// relation is frozen, including the probe that first creates an index
-// for a prefix length no other goroutine has seen.
+// after Adds. Collisions and tombstones are verified; the returned
+// slice is shared. Like Lookup, PrefixLookup is safe from concurrent
+// readers while the relation is frozen, including the probe that first
+// creates an index for a prefix length no other goroutine has seen.
 //
 // This is the probe the evaluator uses when a join argument like
 // @y.$rest has a ground prefix under the current valuation: any
 // matching tuple's column must begin with exactly that prefix.
 func (r *Relation) PrefixLookup(col int, prefix value.Path) []int {
+	return r.prefixLookup(col, prefix, false)
+}
+
+// PrefixLookupAll is PrefixLookup including tombstoned positions; see
+// Index.LookupAll for when the DRed maintainer needs that.
+func (r *Relation) PrefixLookupAll(col int, prefix value.Path) []int {
+	return r.prefixLookup(col, prefix, true)
+}
+
+func (r *Relation) prefixLookup(col int, prefix value.Path, includeDead bool) []int {
 	if col < 0 || col >= r.Arity {
 		panic(fmt.Sprintf("instance: prefix column %d out of range for arity-%d relation", col, r.Arity))
 	}
@@ -491,6 +696,9 @@ func (r *Relation) PrefixLookup(col int, prefix value.Path) []int {
 	}
 	r.catchUpPrefix(ix, key)
 	return verifyBucket(ix.m[prefix.Hash(value.HashSeed)], func(pos int) bool {
+		if !includeDead && !r.Live(pos) {
+			return false
+		}
 		p := r.tuples[pos][col]
 		return len(p) >= len(prefix) && p[:len(prefix)].Equal(prefix)
 	})
@@ -541,7 +749,9 @@ func (i *Instance) Relation(name string) *Relation { return i.rels[name] }
 // Ensure is the instance's write barrier: when the named relation is
 // frozen (its storage is shared with a snapshot), it is replaced by an
 // unfrozen clone before being returned, so the caller can write to it
-// without disturbing any snapshot. Readers that only need to look at a
+// without disturbing any snapshot. The clone preserves tuple-log
+// positions (tombstones included), so delta windows recorded before the
+// barrier stay valid after it. Readers that only need to look at a
 // relation should use Relation instead, which never clones.
 func (i *Instance) Ensure(name string, arity int) *Relation {
 	if r, ok := i.rels[name]; ok {
@@ -549,7 +759,7 @@ func (i *Instance) Ensure(name string, arity int) *Relation {
 			panic(fmt.Sprintf("instance: relation %s has arity %d, requested %d", name, r.Arity, arity))
 		}
 		if r.Frozen() {
-			r = r.Clone()
+			r = r.cloneExact()
 			i.rels[name] = r
 		}
 		return r
@@ -562,6 +772,18 @@ func (i *Instance) Ensure(name string, arity int) *Relation {
 // Add inserts the fact name(t...) creating the relation as needed.
 func (i *Instance) Add(name string, t Tuple) bool {
 	return i.Ensure(name, len(t)).Add(t)
+}
+
+// Delete removes the fact name(t...), reporting whether it was
+// present. Like every write it goes through the Ensure barrier, so a
+// frozen (snapshot-shared) relation is cloned before the tombstone is
+// placed and no snapshot ever observes the deletion.
+func (i *Instance) Delete(name string, t Tuple) bool {
+	r := i.rels[name]
+	if r == nil || !r.Contains(t) {
+		return false
+	}
+	return i.Ensure(name, r.Arity).Delete(t)
 }
 
 // AddPath inserts a unary fact.
@@ -639,12 +861,20 @@ func (i *Instance) Remove(name string) { delete(i.rels, name) }
 // before re-deriving; writes through Ensure will clone it as needed.
 func (i *Instance) Put(name string, rel *Relation) { i.rels[name] = rel }
 
-// Restrict returns a copy containing only the named relations.
+// Restrict returns a copy containing only the named relations. Frozen
+// relations are shared rather than cloned — their storage is immutable,
+// so the restriction reads them for free and the first write on either
+// side goes through the Ensure barrier, exactly as after Snapshot;
+// only unfrozen relations are deep-cloned.
 func (i *Instance) Restrict(names ...string) *Instance {
 	out := New()
 	for _, n := range names {
 		if r, ok := i.rels[n]; ok {
-			out.rels[n] = r.Clone()
+			if r.Frozen() {
+				out.rels[n] = r
+			} else {
+				out.rels[n] = r.Clone()
+			}
 		}
 	}
 	return out

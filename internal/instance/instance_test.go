@@ -208,15 +208,21 @@ func TestPrefixLookup(t *testing.T) {
 	}
 }
 
-func TestSliceAndTupleAt(t *testing.T) {
+func TestWindowIterationAndTupleAt(t *testing.T) {
 	r := NewRelation(1)
 	r.Add(tup(value.PathOf("a")))
-	mark := r.Len()
+	mark := r.Size()
 	r.Add(tup(value.PathOf("b")))
 	r.Add(tup(value.PathOf("c")))
-	delta := r.Slice(mark, r.Len())
+	// Delta windows iterate positions [lo, hi) with TupleAt + Live.
+	var delta []Tuple
+	for pos := mark; pos < r.Size(); pos++ {
+		if r.Live(pos) {
+			delta = append(delta, r.TupleAt(pos))
+		}
+	}
 	if len(delta) != 2 || delta[0].String() != "(b)" || delta[1].String() != "(c)" {
-		t.Fatalf("Slice = %v", delta)
+		t.Fatalf("window = %v", delta)
 	}
 	if r.TupleAt(0).String() != "(a)" {
 		t.Fatalf("TupleAt(0) = %v", r.TupleAt(0))
@@ -348,5 +354,190 @@ func TestRemoveAndPut(t *testing.T) {
 	i.Add("R", tup(value.PathOf("b"))) // frozen seed: Ensure clones
 	if snap.Relation("R").Len() != 1 || i.Relation("R").Len() != 2 {
 		t.Fatalf("seed reinstate: snap %d, inst %d", snap.Relation("R").Len(), i.Relation("R").Len())
+	}
+}
+
+func TestRelationDeleteTombstones(t *testing.T) {
+	r := NewRelation(1)
+	a, b, c := tup(value.PathOf("a")), tup(value.PathOf("b")), tup(value.PathOf("c"))
+	for _, x := range []Tuple{a, b, c} {
+		r.Add(x)
+	}
+	if !r.Delete(b) {
+		t.Fatal("deleting a present tuple must report true")
+	}
+	if r.Delete(b) {
+		t.Fatal("double delete must report false")
+	}
+	if r.Contains(b) {
+		t.Fatal("deleted tuple still a member")
+	}
+	if r.Len() != 2 || r.Size() != 3 || r.Tombstones() != 1 {
+		t.Fatalf("Len/Size/Tombstones = %d/%d/%d, want 2/3/1", r.Len(), r.Size(), r.Tombstones())
+	}
+	if r.Live(1) || !r.Live(0) || !r.Live(2) {
+		t.Fatal("Live disagrees with the tombstone")
+	}
+	// Tuples and Sorted see live facts only; TupleAt still addresses the
+	// tombstoned position.
+	if got := r.Tuples(); len(got) != 2 {
+		t.Fatalf("Tuples = %v", got)
+	}
+	if got := r.Sorted(); len(got) != 2 || !got[0].Equal(a) || !got[1].Equal(c) {
+		t.Fatalf("Sorted = %v", got)
+	}
+	if !r.TupleAt(1).Equal(b) {
+		t.Fatal("TupleAt must keep addressing the tombstoned position")
+	}
+	// Re-adding a deleted tuple appends at a fresh position.
+	if !r.Add(b) {
+		t.Fatal("re-add after delete must be new")
+	}
+	if r.Len() != 3 || r.Size() != 4 || !r.Live(3) {
+		t.Fatalf("after re-add: Len/Size = %d/%d", r.Len(), r.Size())
+	}
+}
+
+func TestRelationDeleteEqualAndIndexes(t *testing.T) {
+	r := NewRelation(2)
+	for k := 0; k < 8; k++ {
+		r.Add(tup(value.PathOf(fmt.Sprint("k", k)), value.PathOf("v")))
+	}
+	// Build both index kinds, then delete: lookups must skip the
+	// tombstone while the *All variants keep seeing it.
+	key := value.PathOf("k3")
+	if got := r.Index(0).Lookup(key); len(got) != 1 {
+		t.Fatalf("pre-delete Lookup = %v", got)
+	}
+	if got := r.PrefixLookup(0, key); len(got) != 1 {
+		t.Fatalf("pre-delete PrefixLookup = %v", got)
+	}
+	if !r.Delete(tup(key, value.PathOf("v"))) {
+		t.Fatal("delete failed")
+	}
+	if got := r.Index(0).Lookup(key); len(got) != 0 {
+		t.Fatalf("Lookup must skip tombstones, got %v", got)
+	}
+	if got := r.Index(0).LookupAll(key); len(got) != 1 {
+		t.Fatalf("LookupAll must include tombstones, got %v", got)
+	}
+	if got := r.PrefixLookup(0, key); len(got) != 0 {
+		t.Fatalf("PrefixLookup must skip tombstones, got %v", got)
+	}
+	if got := r.PrefixLookupAll(0, key); len(got) != 1 {
+		t.Fatalf("PrefixLookupAll must include tombstones, got %v", got)
+	}
+	// Set equality ignores tombstones.
+	s := NewRelation(2)
+	for k := 0; k < 8; k++ {
+		if k == 3 {
+			continue
+		}
+		s.Add(tup(value.PathOf(fmt.Sprint("k", k)), value.PathOf("v")))
+	}
+	if !r.Equal(s) || !s.Equal(r) {
+		t.Fatal("Equal must compare live tuples only")
+	}
+}
+
+func TestRelationCloneCompactsEnsurePreserves(t *testing.T) {
+	i := New()
+	for k := 0; k < 8; k++ {
+		i.Add("R", tup(value.PathOf(fmt.Sprint("x", k))))
+	}
+	r := i.Relation("R")
+	r.Delete(tup(value.PathOf("x2")))
+	r.Delete(tup(value.PathOf("x5")))
+
+	// Clone compacts: dense positions, no tombstones, same set.
+	cl := r.Clone()
+	if cl.Len() != 6 || cl.Size() != 6 || cl.Tombstones() != 0 {
+		t.Fatalf("Clone: Len/Size/Tombstones = %d/%d/%d", cl.Len(), cl.Size(), cl.Tombstones())
+	}
+	if !cl.Equal(r) {
+		t.Fatal("Clone changed the set")
+	}
+
+	// The Ensure write barrier preserves positions across the clone, so
+	// delta windows recorded against the frozen original stay valid.
+	snap := i.Snapshot()
+	w := i.Ensure("R", 1)
+	if w == r {
+		t.Fatal("Ensure must clone the frozen relation")
+	}
+	if w.Size() != r.Size() || w.Len() != r.Len() || w.Tombstones() != 2 {
+		t.Fatalf("Ensure clone: Len/Size/Tombstones = %d/%d/%d, want %d/%d/2",
+			w.Len(), w.Size(), w.Tombstones(), r.Len(), r.Size())
+	}
+	for pos := 0; pos < r.Size(); pos++ {
+		if w.Live(pos) != r.Live(pos) || !w.TupleAt(pos).Equal(r.TupleAt(pos)) {
+			t.Fatalf("position %d diverged across the write barrier", pos)
+		}
+	}
+	if snap.Relation("R").Len() != 6 {
+		t.Fatal("snapshot disturbed")
+	}
+
+	// In-place compaction renumbers and drops secondary indexes.
+	w.Compact()
+	if w.Len() != 6 || w.Size() != 6 || w.Tombstones() != 0 {
+		t.Fatalf("Compact: Len/Size/Tombstones = %d/%d/%d", w.Len(), w.Size(), w.Tombstones())
+	}
+	if got := w.Index(0).Lookup(value.PathOf("x7")); len(got) != 1 || got[0] >= 6 {
+		t.Fatalf("post-compact index lookup = %v", got)
+	}
+}
+
+func TestRelationDeleteFrozenPanics(t *testing.T) {
+	r := NewRelation(1)
+	r.Add(tup(value.PathOf("a")))
+	r.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Delete on a frozen relation must panic")
+		}
+	}()
+	r.Delete(tup(value.PathOf("a")))
+}
+
+func TestInstanceDeleteGoesThroughEnsure(t *testing.T) {
+	i := New()
+	i.Add("R", tup(value.PathOf("a")))
+	i.Add("R", tup(value.PathOf("b")))
+	snap := i.Snapshot() // freezes R
+	if !i.Delete("R", tup(value.PathOf("a"))) {
+		t.Fatal("Delete of a present fact must report true")
+	}
+	if i.Delete("R", tup(value.PathOf("a"))) || i.Delete("Nope", tup(value.PathOf("a"))) {
+		t.Fatal("absent fact / absent relation must report false")
+	}
+	if i.Relation("R").Len() != 1 {
+		t.Fatal("deletion lost")
+	}
+	if snap.Relation("R").Len() != 2 {
+		t.Fatal("snapshot must not observe the deletion")
+	}
+}
+
+func TestRestrictSharesFrozen(t *testing.T) {
+	i := New()
+	i.Add("R", tup(value.PathOf("a")))
+	i.Add("S", tup(value.PathOf("b")))
+	i.Relation("R").Freeze()
+	out := i.Restrict("R", "S", "Nope")
+	if out.Relation("R") != i.Relation("R") {
+		t.Fatal("Restrict must share frozen relations")
+	}
+	if out.Relation("S") == i.Relation("S") {
+		t.Fatal("Restrict must clone unfrozen relations")
+	}
+	if out.Relation("Nope") != nil {
+		t.Fatal("Restrict invented a relation")
+	}
+	// Writing to the restriction goes through the barrier and leaves the
+	// original untouched.
+	out.Add("R", tup(value.PathOf("c")))
+	if i.Relation("R").Len() != 1 || out.Relation("R").Len() != 2 {
+		t.Fatalf("write-through: orig %d, restricted %d", i.Relation("R").Len(), out.Relation("R").Len())
 	}
 }

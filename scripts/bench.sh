@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # bench.sh — run the perf-tracked benchmarks (graphpaths transitive
 # closure, concat workload, unification, value microbenchmarks, and
-# the incremental-assert serving workload) with -benchmem and archive
-# the parsed results as JSON.
+# the incremental assert/retract serving workloads) with -benchmem and
+# archive the parsed results as JSON.
 #
 # Usage:  scripts/bench.sh [out.json]
 #         COUNT=5 scripts/bench.sh          # repetitions (default 5)
@@ -23,10 +23,11 @@ go test -run '^$' -bench 'TransitiveClosureGraph|ConcatJoin|SemiNaiveChain' \
     -benchmem -count="$count" ./internal/eval/ > "$raw"
 go test -run '^$' -bench '.' -benchmem -count="$count" \
     ./internal/unify/ ./internal/value/ >> "$raw"
-# Serving workload: incremental maintenance vs from-scratch. The
-# from-scratch baseline is slow per op, so cap its per-run time.
-go test -run '^$' -bench 'IncrementalAssert' -benchmem -benchtime 1s \
-    -count="$count" . >> "$raw"
+# Serving workloads: incremental assert and DRed retract trajectories
+# vs from-scratch. The from-scratch baselines are slow per op, so cap
+# the per-run time.
+go test -run '^$' -bench 'IncrementalAssert|IncrementalRetract' -benchmem \
+    -benchtime 1s -count="$count" . >> "$raw"
 cat "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '

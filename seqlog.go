@@ -12,9 +12,10 @@
 //     and optional intra-round parallelism (Limits.Parallelism);
 //   - a serving layer: Compile splits evaluation into a reusable
 //     compiled form (Prepared), and Engine keeps a materialized
-//     instance at fixpoint under incremental Assert batches while
-//     concurrent readers query copy-on-write Snapshots (cmd/seqlogd
-//     serves this over a line protocol);
+//     instance at fixpoint under incremental Assert and Retract
+//     batches (delete-and-rederive maintenance) while concurrent
+//     readers query copy-on-write Snapshots (cmd/seqlogd serves this
+//     over a line protocol);
 //   - associative unification for path-expression equations — pig-pug
 //     with the paper's extensions (§4.3, Figure 2);
 //   - every redundancy theorem as an executable program transformation:
@@ -127,11 +128,17 @@ type (
 	Prepared = eval.Prepared
 	// Engine is a persistent evaluator: a Prepared program plus a live
 	// materialized instance, maintained incrementally under Assert and
-	// served consistently through copy-on-write snapshots.
+	// Retract (delete-and-rederive) and served consistently through
+	// copy-on-write snapshots.
 	Engine = eval.Engine
 	// AssertStats reports what one Engine.Assert did, stratum by
-	// stratum (skipped / incremental / recomputed).
+	// stratum (skipped / incremental, plus the overdelete/rederive work
+	// negation triggers).
 	AssertStats = eval.AssertStats
+	// RetractStats reports what one Engine.Retract did: facts removed,
+	// the overdeleted downward closure, and how much of it was
+	// rederived through surviving alternative derivations.
+	RetractStats = eval.RetractStats
 	// EngineStats is a point-in-time summary of an Engine.
 	EngineStats = eval.EngineStats
 )
@@ -142,8 +149,9 @@ func Compile(p Program) (*Prepared, error) { return eval.Compile(p) }
 
 // NewEngine runs the initial fixpoint of a compiled program over edb
 // (shared copy-on-write; a nil edb means empty) and returns the live
-// engine. Subsequent Assert calls maintain the materialization
-// incrementally; Snapshot/Query serve consistent reads concurrently.
+// engine. Subsequent Assert and Retract calls maintain the
+// materialization incrementally (retraction by delete-and-rederive);
+// Snapshot/Query serve consistent reads concurrently.
 func NewEngine(p *Prepared, edb *Instance, limits Limits) (*Engine, error) {
 	return eval.NewEngine(p, edb, limits)
 }

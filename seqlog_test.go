@@ -195,4 +195,24 @@ T(@x.@z) :- T(@x.@y), E(@y.@z).`))
 	if !final.Equal(want) {
 		t.Fatal("engine materialization differs from Eval")
 	}
+	// Retraction withdraws the edge and its downward closure (DRed):
+	// dropping b->c removes T(b.c), T(a.c), T(b.d), T(a.d).
+	rstats, err := e.Retract(MustParseInstance(`E(b.c).`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Retracted != 1 || rstats.Overdeleted != 4 || rstats.Rederived != 0 || rstats.Derived != -4 {
+		t.Fatalf("retract stats = %+v", rstats)
+	}
+	want, err = Eval(prep.Program(), MustParseInstance(`E(a.b). E(c.d).`), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err = e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Equal(want) {
+		t.Fatal("engine materialization after Retract differs from Eval")
+	}
 }
