@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: build test race bench vet all
+.PHONY: build test race bench vet lint all
 
-all: vet build test
+all: vet lint build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repository's own static checks: the engine-invariant
+# analyzer (cmd/seqlint: tombstone-view and write-barrier rules) and a
+# gofmt cleanliness gate. CI runs this target.
+lint:
+	$(GO) run ./cmd/seqlint .
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then echo "gofmt needed:"; echo "$$fmt_out"; exit 1; fi
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,155 @@
+// Command seqlint enforces engine invariants across this repository's
+// own Go sources — the go/analysis-style companion to the Sequence
+// Datalog analyzer in internal/analyze, but aimed at the Go code. It
+// is built on the standard library alone (go/parser + go/ast) so it
+// runs in hermetic environments without golang.org/x/tools; packaging
+// the same checks as a `go vet -vettool` plugin is gated on that
+// dependency being available.
+//
+// Checks:
+//
+//   - tombstone-view: Index.LookupAll and Relation.PrefixLookupAll
+//     return positions including tombstoned (deleted) tuples. The only
+//     legal caller outside package instance is the DRed overdeletion
+//     path (runPlanOpts in internal/eval/eval.go), which needs the
+//     pre-deletion view of a relation; anywhere else the dead rows
+//     silently corrupt results.
+//   - write-barrier: mutating a relation fetched with Instance.
+//     Relation (inst.Relation("T").Add(...)) bypasses the Ensure
+//     write barrier, panicking on frozen (snapshot-shared) relations
+//     or, worse, mutating a shared snapshot. Writes must go through
+//     Instance.Add / Instance.Delete / Ensure.
+//
+// Usage:
+//
+//	seqlint [dir]    lint all Go files under dir (default ".")
+//
+// Findings print as "file:line:col: message"; the exit status is 1
+// when any finding is reported.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := lintTree(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// lintTree parses every Go file under root (skipping testdata and
+// hidden directories) and returns the findings, sorted by position.
+func lintTree(root string) ([]string, error) {
+	var findings []string
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (len(name) > 1 && strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
+		findings = append(findings, lintFile(fset, file, filepath.ToSlash(rel))...)
+		return nil
+	})
+	return findings, err
+}
+
+// tombstoneViewAllowed reports whether a file may call LookupAll /
+// PrefixLookupAll: package instance (definitions, internal use, and
+// its tests) and the DRed overdeletion path in eval.
+func tombstoneViewAllowed(relPath string) bool {
+	return strings.HasPrefix(relPath, "internal/instance/") ||
+		relPath == "internal/eval/eval.go"
+}
+
+// writeBarrierAllowed reports whether a file may mutate relations
+// directly: only package instance itself, where the write barrier is
+// implemented and direct writes are the subject under test.
+func writeBarrierAllowed(relPath string) bool {
+	return strings.HasPrefix(relPath, "internal/instance/")
+}
+
+// mutators are the Relation methods that change tuple storage.
+var mutators = map[string]bool{
+	"Add": true, "AddHashed": true, "Delete": true, "DeleteHashed": true,
+	"Put": true, "Remove": true, "Compact": true,
+}
+
+// lintFile walks one parsed file and reports invariant violations.
+func lintFile(fset *token.FileSet, file *ast.File, relPath string) []string {
+	var findings []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d:%d: %s", relPath, p.Line, p.Column, fmt.Sprintf(format, args...)))
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "LookupAll", "PrefixLookupAll":
+			if !tombstoneViewAllowed(relPath) {
+				report(sel.Sel.Pos(), "%s returns tombstoned positions and is reserved for the DRed overdeletion path (internal/eval/eval.go); use Lookup/PrefixLookup", sel.Sel.Name)
+			}
+		default:
+			if mutators[sel.Sel.Name] && !writeBarrierAllowed(relPath) && isRelationFetch(sel.X) {
+				report(sel.Sel.Pos(), "direct %s on Instance.Relation(...) bypasses the Ensure write barrier; route the write through Instance.Add/Delete or Ensure", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// isRelationFetch matches an expression of the shape
+// <anything>.Relation(...) — a relation handle fetched straight from
+// an instance, with no write barrier in between.
+func isRelationFetch(x ast.Expr) bool {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Relation"
+}

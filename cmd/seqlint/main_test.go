@@ -1,0 +1,97 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSrc(t *testing.T, relPath, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, relPath, src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return lintFile(fset, file, relPath)
+}
+
+func TestTombstoneViewOutsideDRed(t *testing.T) {
+	src := `package x
+func f(ix *Index, r *Relation) {
+	_ = ix.LookupAll(k)
+	_ = r.PrefixLookupAll(0, p)
+}
+`
+	got := lintSrc(t, "internal/rewrite/bad.go", src)
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings, got %v", got)
+	}
+	if !strings.Contains(got[0], "internal/rewrite/bad.go:3:9: LookupAll") {
+		t.Fatalf("finding position/message: %q", got[0])
+	}
+	if !strings.Contains(got[1], "PrefixLookupAll") {
+		t.Fatalf("second finding: %q", got[1])
+	}
+}
+
+func TestTombstoneViewAllowedSites(t *testing.T) {
+	src := `package x
+func f(ix *Index) { _ = ix.LookupAll(k) }
+`
+	for _, path := range []string{"internal/eval/eval.go", "internal/instance/instance.go", "internal/instance/instance_test.go"} {
+		if got := lintSrc(t, path, src); len(got) != 0 {
+			t.Fatalf("%s must be allowed, got %v", path, got)
+		}
+	}
+	// eval files other than eval.go are not exempt.
+	if got := lintSrc(t, "internal/eval/maintenance.go", src); len(got) != 1 {
+		t.Fatalf("non-eval.go eval file must be flagged, got %v", got)
+	}
+}
+
+func TestWriteBarrierBypass(t *testing.T) {
+	src := `package x
+func f(inst *Instance) {
+	inst.Relation("T").Add(tuple)
+	inst.Relation("T").Delete(3)
+	out.Relation(name).Put(0, tuple)
+}
+`
+	got := lintSrc(t, "internal/eval/engine.go", src)
+	if len(got) != 3 {
+		t.Fatalf("want 3 findings, got %v", got)
+	}
+	for _, f := range got {
+		if !strings.Contains(f, "write barrier") {
+			t.Fatalf("finding must mention the write barrier: %q", f)
+		}
+	}
+}
+
+func TestWriteBarrierLegalPatterns(t *testing.T) {
+	src := `package x
+func f(inst *Instance) {
+	inst.Ensure("T", 1).Add(tuple)   // Ensure IS the barrier
+	inst.Add("T", tuple)             // Instance.Add routes through it
+	rel := inst.Relation("T")
+	_ = rel.Len()                    // reads are fine
+}
+`
+	if got := lintSrc(t, "internal/eval/engine.go", src); len(got) != 0 {
+		t.Fatalf("legal patterns flagged: %v", got)
+	}
+}
+
+func TestLintTreeOnRepo(t *testing.T) {
+	// The repository itself must be clean — this is the same
+	// invariant "make lint" enforces in CI.
+	findings, err := lintTree("../..")
+	if err != nil {
+		t.Fatalf("lintTree: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("repository violates engine invariants:\n%s", strings.Join(findings, "\n"))
+	}
+}

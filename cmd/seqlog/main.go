@@ -4,6 +4,7 @@
 //
 //	seqlog -program prog.sdl -data facts.sdl [-output S] [-max-facts N] [-workers N]
 //	seqlog -query nfa-accept -data facts.sdl
+//	seqlog -vet -program prog.sdl [-output S]
 //	seqlog -list
 //
 // Programs use the syntax of the paper in ASCII (see the README):
@@ -23,7 +24,9 @@ import (
 	"strings"
 	"sync"
 
+	"seqlog/internal/analyze"
 	"seqlog/internal/ast"
+	"seqlog/internal/core"
 	"seqlog/internal/eval"
 	"seqlog/internal/instance"
 	"seqlog/internal/parser"
@@ -39,6 +42,7 @@ func main() {
 		maxFacts    = flag.Int("max-facts", eval.DefaultLimits.MaxFacts, "termination guard: maximum derived facts")
 		workers     = flag.Int("workers", 1, "fixpoint workers per round (1 = sequential, -1 = all CPUs)")
 		list        = flag.Bool("list", false, "list the built-in paper queries")
+		vet         = flag.Bool("vet", false, "run the static analyzer and print diagnostics instead of evaluating")
 		showProg    = flag.Bool("show-program", false, "print the (stratified) program before evaluating")
 		explain     = flag.Bool("explain", false, "print the compiled join plan (predicate order and index usage) before evaluating")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the evaluation to this file (go tool pprof)")
@@ -79,6 +83,10 @@ func main() {
 			fmt.Printf("%-22s %-28s %s  %s\n", q.Name, q.Source, q.Fragment(), q.Doc)
 		}
 		return
+	}
+
+	if *vet {
+		os.Exit(runVet(*programFile, *queryName, *output))
 	}
 
 	prog, out, err := loadProgram(*programFile, *queryName, *output)
@@ -130,6 +138,63 @@ func main() {
 		fail(err)
 	}
 	printRelations(result, prog.IDBNames())
+}
+
+// runVet runs the static analyzer over a program file or a built-in
+// query and prints every diagnostic as "file:line:col: code: message".
+// The exit status is 1 when any diagnostic has warning or error
+// severity, 0 when the program is clean (info diagnostics — the
+// fragment report — do not fail the vet).
+func runVet(file, query, output string) int {
+	var (
+		prog     ast.Program
+		explicit bool
+		label    = file
+	)
+	switch {
+	case file != "" && query != "":
+		fail(fmt.Errorf("use either -program or -query, not both"))
+	case query != "":
+		q, err := queries.Get(query)
+		if err != nil {
+			fail(err)
+		}
+		if output == "" {
+			output = q.Output
+		}
+		prog, explicit, label = q.Program, true, query
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fail(err)
+		}
+		prog, explicit, err = parser.ParseProgramForAnalysis(string(src))
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", file, err))
+		}
+	default:
+		fail(fmt.Errorf("-vet needs -program or -query"))
+	}
+	var outputs []string
+	if output != "" {
+		outputs = []string{output}
+	}
+	diags := analyze.Check(prog, analyze.Options{
+		Outputs:        outputs,
+		ExplicitStrata: explicit,
+		ClassLabel:     func(f ast.FeatureSet) string { return core.ClassOf(f).Label() },
+	})
+	bad := 0
+	for _, d := range diags {
+		fmt.Println(d.Format(label))
+		if d.Severity != analyze.Info {
+			bad++
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
 }
 
 func loadProgram(file, query, output string) (ast.Program, string, error) {

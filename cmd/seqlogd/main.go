@@ -18,7 +18,14 @@
 // "err ..."):
 //
 //	load                  read program lines until a lone "."; compile
-//	                      and start a fresh engine (empty EDB)
+//	                      and start a fresh engine (empty EDB). A program
+//	                      with error-severity diagnostics is rejected —
+//	                      the diagnostics are listed one per line as
+//	                      "diag <line:col>: <code>: <message>" before the
+//	                      final "err", and the previous engine keeps
+//	                      serving. Analyzer warnings do not block the
+//	                      load; they are listed the same way before
+//	                      "ok loaded warnings=N".
 //	assert <facts>        e.g. assert E(a.b). E(b.c).
 //	retract <facts>       withdraw facts; derived facts losing their
 //	                      last derivation disappear (DRed maintenance)
@@ -41,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"seqlog/internal/analyze"
 	"seqlog/internal/eval"
 	"seqlog/internal/instance"
 	"seqlog/internal/parser"
@@ -151,28 +159,65 @@ type server struct {
 
 	mu     sync.Mutex
 	engine *eval.Engine
+	// warnings holds the analyzer warnings of the served program;
+	// rejected counts loads refused for error-severity diagnostics.
+	warnings []analyze.Diagnostic
+	rejected int
 }
 
 // load compiles src and replaces the served engine with a fresh one
 // over edb. Facts asserted into the previous engine are discarded:
-// loading is a reset, not a migration.
+// loading is a reset, not a migration. A program the static analyzer
+// rejects returns an *analyze.DiagError (wrapped or direct) and leaves
+// the previous engine serving; the rejection is counted in stats.
 func (s *server) load(src string, edb *instance.Instance) error {
-	prog, err := parser.ParseProgram(src)
+	// Parse without validating: safety and stratification problems
+	// should surface as Compile's structured diagnostics, not as a
+	// single opaque parse error.
+	prog, _, err := parser.ParseProgramForAnalysis(src)
 	if err != nil {
 		return err
 	}
 	prep, err := eval.Compile(prog)
 	if err != nil {
+		var de *analyze.DiagError
+		if errors.As(err, &de) {
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
+		}
 		return err
 	}
 	e, err := eval.NewEngine(prep, edb, s.limits)
 	if err != nil {
 		return err
 	}
+	var warns []analyze.Diagnostic
+	for _, d := range prep.Diagnostics() {
+		if d.Severity == analyze.Warning {
+			warns = append(warns, d)
+		}
+	}
 	s.mu.Lock()
 	s.engine = e
+	s.warnings = warns
 	s.mu.Unlock()
 	return nil
+}
+
+// loadWarnings returns the analyzer warnings of the served program.
+func (s *server) loadWarnings() []analyze.Diagnostic {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.warnings
+}
+
+// rejectedLoads returns how many loads were refused for
+// error-severity diagnostics since the daemon started.
+func (s *server) rejectedLoads() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejected
 }
 
 // current returns the served engine, or an error when none is loaded.
@@ -233,10 +278,22 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				continue
 			}
 			if err := s.load(prog.String(), instance.New()); err != nil {
+				var de *analyze.DiagError
+				if errors.As(err, &de) {
+					for _, d := range de.Diags {
+						fmt.Fprintf(out, "diag %s\n", d)
+					}
+					reply("err load rejected: %d diagnostic(s) (previous engine kept)", len(de.Diags))
+					continue
+				}
 				reply("err %v", err)
 				continue
 			}
-			reply("ok loaded")
+			warns := s.loadWarnings()
+			for _, d := range warns {
+				fmt.Fprintf(out, "diag %s\n", d)
+			}
+			reply("ok loaded warnings=%d", len(warns))
 		case "assert":
 			e, err := s.current()
 			if err != nil {
@@ -317,8 +374,9 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				continue
 			}
 			st := e.Stats()
-			reply("ok facts=%d derived=%d asserts=%d retracts=%d",
-				st.Facts, st.Derived, st.Asserts, st.Retracts)
+			reply("ok facts=%d derived=%d asserts=%d retracts=%d warnings=%d rejected_loads=%d",
+				st.Facts, st.Derived, st.Asserts, st.Retracts,
+				len(s.loadWarnings()), s.rejectedLoads())
 		case "explain":
 			e, err := s.current()
 			if err != nil {

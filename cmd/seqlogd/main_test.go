@@ -298,3 +298,68 @@ func TestAcceptLoopRetriesTemporaryErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadRejectionKeepsEngineAndReportsDiagnostics: a program with
+// error-severity diagnostics is refused with positioned "diag" lines,
+// the previous engine keeps serving, and the stats counter records the
+// rejected load.
+func TestLoadRejectionKeepsEngineAndReportsDiagnostics(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	if out := run(t, srv, "load\nS($x) :- R($x).\n.\nassert R(a).\n"); !strings.Contains(out, "ok loaded") {
+		t.Fatalf("initial load failed:\n%s", out)
+	}
+	got := run(t, srv, `load
+S($y.a) :- R($x).
+.
+query S
+stats
+`)
+	for _, want := range []string{
+		// The rejection reply carries the position and code of every
+		// error diagnostic before the final err line.
+		"diag 1:1: unbound-head-var:",
+		"err load rejected: 1 diagnostic(s) (previous engine kept)",
+		// The previous program still answers queries.
+		"S(a).",
+		"rejected_loads=1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("response missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestLoadWarningsSurfacedAndCounted: a program that compiles but
+// draws analyzer warnings reports them as "diag" lines on load, counts
+// them in stats, and a subsequent clean load resets the count.
+func TestLoadWarningsSurfacedAndCounted(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	got := run(t, srv, `load
+T(@x.@z) :- T(@x.@y), E(@y.@z).
+T(@x.@y) :- E(@x.@y).
+.
+stats
+load
+T(@x, @y) :- E(@x.@y).
+T(@x, @z) :- T(@x, @y), E(@y.@z).
+.
+stats
+quit
+`)
+	for _, want := range []string{
+		// Unary transitive closure leaves the recursive join without a
+		// usable index for deltas on E — the perf pass flags it.
+		"diag 1:13: full-scan-delta:",
+		"ok loaded warnings=",
+		// The binary form is clean: the second load resets to zero.
+		"ok loaded warnings=0",
+		"warnings=0 rejected_loads=0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("response missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(strings.Split(got, "ok loaded warnings=0")[0], "warnings=0") {
+		t.Fatalf("first load should have reported nonzero warnings:\n%s", got)
+	}
+}

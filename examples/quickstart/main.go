@@ -4,15 +4,20 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	"seqlog"
 )
 
+//go:embed program.sdl
+var program string
+
 func main() {
-	// The {E} formulation: one equation does the pattern matching.
-	prog := seqlog.MustParse(`S($x) :- R($x), a.$x = $x.a.`)
+	// The {E} formulation: one equation does the pattern matching
+	// (program.sdl, vetted clean in CI by `seqlog -vet`).
+	prog := seqlog.MustParse(program)
 
 	edb := seqlog.MustParseInstance(`
 R(a.a.a).

@@ -1,0 +1,185 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"seqlog/internal/ast"
+)
+
+// DeadCodeAnalyzer flags rules and relations that cannot contribute to
+// the program's result:
+//
+//   - duplicate-rule (warning): a rule structurally identical to an
+//     earlier one (identical derivations, pure overhead);
+//   - singleton-var (warning): a variable occurring exactly once in a
+//     rule — usually a typo; a leading underscore ($_x, @_x) marks a
+//     deliberate don't-care and suppresses the warning;
+//   - never-derived (warning): an IDB relation none of whose rules can
+//     ever fire, because every one of them depends positively on a
+//     relation that itself derives nothing and is defined by no rule
+//     (not an EDB name — EDB relations may hold facts at runtime);
+//   - unreachable-rule (warning, needs Options.Outputs): a rule whose
+//     head is not needed — directly or transitively, through positive
+//     or negated atoms — to compute any declared output.
+var DeadCodeAnalyzer = &Analyzer{
+	Name: "deadcode",
+	Doc:  "unreachable rules, never-derivable relations, duplicate rules, singleton variables",
+	Run:  runDeadCode,
+}
+
+func runDeadCode(p *Pass) {
+	checkDuplicates(p)
+	for _, r := range p.Rules {
+		checkSingletons(p, r)
+	}
+	checkNeverDerived(p)
+	checkUnreachable(p)
+}
+
+func checkDuplicates(p *Pass) {
+	first := map[string]ast.Position{}
+	for _, r := range p.Rules {
+		key := r.String()
+		if pos, ok := first[key]; ok {
+			p.Report(Diagnostic{
+				Pos:      r.Head.Pos,
+				Severity: Warning,
+				Code:     "duplicate-rule",
+				Message:  fmt.Sprintf("rule duplicates an earlier rule: %s", key),
+				Related:  []Related{{Pos: pos, Message: "first occurrence"}},
+			})
+			continue
+		}
+		first[key] = r.Head.Pos
+	}
+}
+
+func checkSingletons(p *Pass, r ast.Rule) {
+	occ := map[ast.Var]int{}
+	for _, a := range r.Head.Args {
+		a.VarOccurrences(occ)
+	}
+	for _, l := range r.Body {
+		switch x := l.Atom.(type) {
+		case ast.Pred:
+			for _, a := range x.Args {
+				a.VarOccurrences(occ)
+			}
+		case ast.Eq:
+			x.L.VarOccurrences(occ)
+			x.R.VarOccurrences(occ)
+		}
+	}
+	// Report in the rule's first-occurrence order for determinism.
+	for _, v := range r.Vars() {
+		if occ[v] != 1 || strings.HasPrefix(v.Name, "_") {
+			continue
+		}
+		p.Reportf(varOccurrencePos(r, v), Warning, "singleton-var",
+			"variable %s occurs only once in the rule (rename to %s to mark it deliberate)", v, sigil(v)+"_"+v.Name)
+	}
+}
+
+func sigil(v ast.Var) string {
+	if v.Atomic {
+		return "@"
+	}
+	return "$"
+}
+
+// varOccurrencePos finds the position of the atom containing v's sole
+// occurrence, preferring body atoms (more precise than the rule head).
+func varOccurrencePos(r ast.Rule, v ast.Var) ast.Position {
+	for _, l := range r.Body {
+		for _, u := range atomVars(l.Atom) {
+			if u == v {
+				return atomPos(l.Atom)
+			}
+		}
+	}
+	return r.Head.Pos
+}
+
+// checkNeverDerived runs a fixpoint over "can derive at least one
+// fact": EDB names can (facts may be loaded), a rule can fire when all
+// its positive body predicates can derive (equations and negation are
+// treated as satisfiable — this is an over-approximation, so every
+// report is sound).
+func checkNeverDerived(p *Pass) {
+	derivable := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if pr, ok := l.Atom.(ast.Pred); ok && !p.IDB[pr.Name] {
+				derivable[pr.Name] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules {
+			if derivable[r.Head.Name] {
+				continue
+			}
+			ok := true
+			for _, l := range r.Body {
+				if l.Neg {
+					continue
+				}
+				if pr, isPred := l.Atom.(ast.Pred); isPred && !derivable[pr.Name] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				derivable[r.Head.Name] = true
+				changed = true
+			}
+		}
+	}
+	reported := map[string]bool{}
+	for _, r := range p.Rules {
+		if derivable[r.Head.Name] || reported[r.Head.Name] {
+			continue
+		}
+		reported[r.Head.Name] = true
+		p.Reportf(r.Head.Pos, Warning, "never-derived",
+			"relation %s can never derive a fact: every rule for it depends on a relation that derives nothing", r.Head.Name)
+	}
+}
+
+// checkUnreachable computes the relations needed to evaluate the
+// declared outputs (through positive and negated body atoms alike,
+// matching rewrite.PruneUnreachable) and flags rules whose head is not
+// among them.
+func checkUnreachable(p *Pass) {
+	if len(p.Opts.Outputs) == 0 {
+		return
+	}
+	needed := map[string]bool{}
+	for _, o := range p.Opts.Outputs {
+		needed[o] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules {
+			if !needed[r.Head.Name] {
+				continue
+			}
+			for _, l := range r.Body {
+				if pr, ok := l.Atom.(ast.Pred); ok && !needed[pr.Name] {
+					needed[pr.Name] = true
+					changed = true
+				}
+			}
+		}
+	}
+	outputs := strings.Join(p.Opts.Outputs, ", ")
+	for _, r := range p.Rules {
+		if needed[r.Head.Name] {
+			continue
+		}
+		p.Reportf(r.Head.Pos, Warning, "unreachable-rule",
+			"rule for %s is unreachable: not needed to compute output %s", r.Head.Name, outputs)
+	}
+}

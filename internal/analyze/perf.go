@@ -1,0 +1,175 @@
+package analyze
+
+import (
+	"strings"
+
+	"seqlog/internal/ast"
+)
+
+// PerfAnalyzer simulates the planner's greedy join ordering under
+// semi-naive incremental maintenance. For every positive predicate
+// occurrence Δ of a multi-join rule it asks: when maintenance is
+// driven by a delta on Δ (only Δ's variables bound up front), can the
+// remaining predicates all be joined through an exact index probe
+// (some argument position fully bound) or a prefix probe (a ground
+// leading term)? A predicate that qualifies for neither is matched by
+// a full relation scan per delta tuple — the join degenerates to
+// nested loops exactly when the engine is supposed to be incremental.
+//
+// Code: full-scan-delta (warning), reported at the scanned predicate.
+var PerfAnalyzer = &Analyzer{
+	Name: "performance",
+	Doc:  "joins that full-scan a relation under delta-driven incremental maintenance",
+	Run:  runPerf,
+}
+
+func runPerf(p *Pass) {
+	for _, r := range p.Rules {
+		checkRulePerf(p, r)
+	}
+}
+
+func checkRulePerf(p *Pass, r ast.Rule) {
+	var preds []ast.Pred
+	for _, l := range r.Body {
+		if l.Neg {
+			continue
+		}
+		if pr, ok := l.Atom.(ast.Pred); ok {
+			preds = append(preds, pr)
+		}
+	}
+	if len(preds) < 2 {
+		return // single-predicate bodies have no join to index
+	}
+	// scanned[i] collects the delta predicates under which preds[i] is
+	// joined by a full scan, in body order.
+	scanned := make(map[int][]string)
+	for d := range preds {
+		bound := map[ast.Var]bool{}
+		for _, a := range preds[d].Args {
+			for _, v := range a.Vars() {
+				bound[v] = true
+			}
+		}
+		remaining := make([]int, 0, len(preds)-1)
+		for i := range preds {
+			if i != d {
+				remaining = append(remaining, i)
+			}
+		}
+		// Greedy ordering mirroring eval's compileWith: pick the
+		// predicate with the best (bound columns, ground prefix, bound
+		// occurrences) score, ties keeping body order.
+		for len(remaining) > 0 {
+			best := 0
+			bestScore := joinScore(preds[remaining[0]], bound)
+			for i := 1; i < len(remaining); i++ {
+				if s := joinScore(preds[remaining[i]], bound); scoreLess(bestScore, s) {
+					best, bestScore = i, s
+				}
+			}
+			idx := remaining[best]
+			remaining = append(remaining[:best], remaining[best+1:]...)
+			pr := preds[idx]
+			if bestScore[0] == 0 && bestScore[1] == 0 && len(pr.Args) > 0 {
+				name := preds[d].Name
+				dup := false
+				for _, n := range scanned[idx] {
+					if n == name {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					scanned[idx] = append(scanned[idx], name)
+				}
+			}
+			for _, a := range pr.Args {
+				for _, v := range a.Vars() {
+					bound[v] = true
+				}
+			}
+		}
+	}
+	for i, pr := range preds {
+		deltas := scanned[i]
+		if len(deltas) == 0 {
+			continue
+		}
+		for j, n := range deltas {
+			deltas[j] = "Δ" + n
+		}
+		p.Reportf(pr.Pos, Warning, "full-scan-delta",
+			"%s is joined by a full scan when maintenance is driven by %s: no argument position becomes fully bound or prefix-ground, so no index applies (consider reordering shared variables)",
+			pr.Name, strings.Join(deltas, ", "))
+	}
+}
+
+// joinScore mirrors eval's predScore: (fully bound argument positions,
+// longest ground argument term prefix, bound variable occurrences).
+func joinScore(pr ast.Pred, bound map[ast.Var]bool) [3]int {
+	var s [3]int
+	for _, a := range pr.Args {
+		if exprBound(a, bound) {
+			s[0]++
+			continue
+		}
+		if n := groundPrefix(a, bound); n > s[1] {
+			s[1] = n
+		}
+	}
+	occ := map[ast.Var]int{}
+	for _, a := range pr.Args {
+		a.VarOccurrences(occ)
+	}
+	for v, n := range occ {
+		if bound[v] {
+			s[2] += n
+		}
+	}
+	return s
+}
+
+func scoreLess(a, b [3]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func exprBound(e ast.Expr, bound map[ast.Var]bool) bool {
+	for _, v := range e.Vars() {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// groundPrefix counts the leading terms whose variables are all bound,
+// mirroring eval's groundPrefixTerms.
+func groundPrefix(e ast.Expr, bound map[ast.Var]bool) int {
+	n := 0
+	for _, t := range e {
+		switch x := t.(type) {
+		case ast.Const:
+			n++
+			continue
+		case ast.VarT:
+			if bound[x.V] {
+				n++
+				continue
+			}
+		case ast.Pack:
+			if exprBound(x.E, bound) {
+				n++
+				continue
+			}
+		}
+		return n
+	}
+	return n
+}

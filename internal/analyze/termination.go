@@ -1,0 +1,180 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seqlog/internal/ast"
+)
+
+// TerminationAnalyzer implements the paper's central observation as a
+// diagnostic (Example 2.3, §3): Sequence Datalog evaluation need not
+// terminate precisely because recursion can construct ever-longer
+// sequences. It reports:
+//
+//   - fragment (info): the program's minimal fragment of {A, E, I, N,
+//     P, R} and, when the caller supplies Options.ClassLabel, its
+//     expressiveness class under Theorem 6.1;
+//   - seq-growth (warning): a recursive rule whose head (or an
+//     equation defining a head variable) builds a sequence strictly
+//     longer than a path variable it recurses on. Such a rule can grow
+//     sequences without bound; termination is not guaranteed on
+//     arbitrary inputs. Rules that recurse through atomic variables
+//     only are bounded by the input alphabet and stay clean.
+var TerminationAnalyzer = &Analyzer{
+	Name: "termination",
+	Doc:  "recursion through sequence-constructing terms grows sequences without bound",
+	Run:  runTermination,
+}
+
+func runTermination(p *Pass) {
+	if len(p.Rules) == 0 {
+		return
+	}
+	reportFragment(p)
+	for _, r := range p.Rules {
+		cycle := recursionCycle(p, r)
+		if cycle == nil {
+			continue
+		}
+		through, pos := growthWitness(r)
+		if through == "" {
+			continue
+		}
+		p.Report(Diagnostic{
+			Pos:      pos,
+			Severity: Warning,
+			Code:     "seq-growth",
+			Message: fmt.Sprintf("recursive rule grows sequences through %s: evaluation is not guaranteed to terminate on all inputs (Example 2.3)",
+				through),
+			Related: []Related{{
+				Pos:     r.Head.Pos,
+				Message: "recursion cycle: " + strings.Join(cycle, " -> ") + " -> " + cycle[0],
+			}},
+		})
+	}
+}
+
+func reportFragment(p *Pass) {
+	f := p.Prog.Features()
+	msg := fmt.Sprintf("program is in fragment %s", f)
+	if p.Opts.ClassLabel != nil {
+		msg += "; expressiveness class: " + p.Opts.ClassLabel(f)
+	}
+	p.Reportf(p.Rules[0].Head.Pos, Info, "fragment", "%s", msg)
+}
+
+// recursionCycle returns the sorted members of the head's recursive
+// dependency-graph component when the rule itself closes a cycle (some
+// positive body predicate is in the head's component), else nil.
+func recursionCycle(p *Pass, r ast.Rule) []string {
+	hid, ok := p.SCC[r.Head.Name]
+	if !ok {
+		return nil
+	}
+	closes := false
+	for _, l := range r.Body {
+		if l.Neg {
+			continue
+		}
+		if pr, isPred := l.Atom.(ast.Pred); isPred {
+			if pid, pok := p.SCC[pr.Name]; pok && pid == hid {
+				closes = true
+				break
+			}
+		}
+	}
+	if !closes {
+		return nil
+	}
+	var members []string
+	for n, id := range p.SCC {
+		if id == hid {
+			members = append(members, n)
+		}
+	}
+	sort.Strings(members)
+	return members
+}
+
+// growthWitness looks for the term through which the rule grows
+// sequences: a head argument that embeds a path variable in a longer
+// constructed expression, or a positive equation that defines a head
+// variable as such an expression. It returns a description of the
+// witness and its position, or "" when the rule only rearranges
+// bounded material (atomic variables, bare path variables).
+func growthWitness(r ast.Rule) (string, ast.Position) {
+	for _, a := range r.Head.Args {
+		if constructsLongerPath(a) {
+			return fmt.Sprintf("head term %s", a), r.Head.Pos
+		}
+	}
+	headVars := map[ast.Var]bool{}
+	for _, a := range r.Head.Args {
+		for _, v := range a.Vars() {
+			headVars[v] = true
+		}
+	}
+	for _, l := range r.Body {
+		if l.Neg {
+			continue
+		}
+		eq, ok := l.Atom.(ast.Eq)
+		if !ok {
+			continue
+		}
+		for _, side := range [][2]ast.Expr{{eq.L, eq.R}, {eq.R, eq.L}} {
+			v, isVar := soleVar(side[0])
+			if isVar && headVars[v] && !v.Atomic && constructsLongerPath(side[1]) {
+				return fmt.Sprintf("equation %s", eq), eq.Pos
+			}
+		}
+	}
+	return "", ast.Position{}
+}
+
+// constructsLongerPath reports whether the expression builds a path
+// strictly containing a path variable: a concatenation or packing
+// around $x grows, while a bare $x, constants, and atomic variables
+// (bounded by the input alphabet) do not.
+func constructsLongerPath(e ast.Expr) bool {
+	if !containsPathVar(e) {
+		return false
+	}
+	if len(e) == 1 {
+		if vt, ok := e[0].(ast.VarT); ok && !vt.V.Atomic {
+			return false // bare $x: pass-through, no growth
+		}
+	}
+	return true
+}
+
+func containsPathVar(e ast.Expr) bool {
+	for _, t := range e {
+		switch x := t.(type) {
+		case ast.VarT:
+			if !x.V.Atomic {
+				return true
+			}
+		case ast.Pack:
+			if containsPathVar(x.E) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// soleVar reports the variable when the expression is exactly one bare
+// variable occurrence.
+func soleVar(e ast.Expr) (ast.Var, bool) {
+	if len(e) != 1 {
+		return ast.Var{}, false
+	}
+	vt, ok := e[0].(ast.VarT)
+	if !ok {
+		return ast.Var{}, false
+	}
+	return vt.V, true
+}

@@ -185,18 +185,21 @@ func (p Program) HasRecursion() bool {
 	return false
 }
 
-// RecursiveRelations returns the IDB relation names on some dependency
-// cycle, sorted. A stratum's rules are "recursive" when their heads are
-// among these.
-func (p Program) RecursiveRelations() []string {
-	g := p.DependencyGraph()
-	// Tarjan SCC, iterative enough for our sizes via recursion.
+// SCCIDs computes the strongly connected components of the dependency
+// graph: a map from each IDB relation name to a component id. Two
+// names share an id iff each is reachable from the other. Ids are
+// assigned deterministically but carry no meaning beyond equality.
+func (p Program) SCCIDs() map[string]int { return sccIDs(p.DependencyGraph()) }
+
+func sccIDs(g map[string][]string) map[string]int {
+	// Tarjan SCC, recursive (program dependency graphs are small).
 	index := map[string]int{}
 	low := map[string]int{}
 	onStack := map[string]bool{}
 	var stack []string
 	next := 0
-	out := map[string]bool{}
+	comp := 0
+	ids := map[string]int{}
 	var strongconnect func(v string)
 	strongconnect = func(v string) {
 		index[v] = next
@@ -215,29 +218,16 @@ func (p Program) RecursiveRelations() []string {
 			}
 		}
 		if low[v] == index[v] {
-			var comp []string
 			for {
 				w := stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
 				onStack[w] = false
-				comp = append(comp, w)
+				ids[w] = comp
 				if w == v {
 					break
 				}
 			}
-			if len(comp) > 1 {
-				for _, w := range comp {
-					out[w] = true
-				}
-			} else {
-				// Self-loop?
-				v := comp[0]
-				for _, w := range g[v] {
-					if w == v {
-						out[v] = true
-					}
-				}
-			}
+			comp++
 		}
 	}
 	nodes := make([]string, 0, len(g))
@@ -249,6 +239,31 @@ func (p Program) RecursiveRelations() []string {
 	for _, n := range nodes {
 		if _, seen := index[n]; !seen {
 			strongconnect(n)
+		}
+	}
+	return ids
+}
+
+// RecursiveRelations returns the IDB relation names on some dependency
+// cycle, sorted. A stratum's rules are "recursive" when their heads are
+// among these.
+func (p Program) RecursiveRelations() []string {
+	g := p.DependencyGraph()
+	ids := sccIDs(g)
+	size := map[int]int{}
+	for _, id := range ids {
+		size[id]++
+	}
+	out := map[string]bool{}
+	for n, id := range ids {
+		if size[id] > 1 {
+			out[n] = true
+			continue
+		}
+		for _, m := range g[n] {
+			if m == n { // self-loop
+				out[n] = true
+			}
 		}
 	}
 	return sortedKeys(out)

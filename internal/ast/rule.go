@@ -12,11 +12,18 @@ import (
 type Pred struct {
 	Name string
 	Args []Expr
+	// Pos is the source position of the predicate name (zero when the
+	// predicate was built programmatically). It does not participate in
+	// structural equality or rendering.
+	Pos Position
 }
 
 // Eq is an equation e1 = e2 between path expressions (the E feature).
 type Eq struct {
 	L, R Expr
+	// Pos is the source position where the equation starts (zero when
+	// built programmatically).
+	Pos Position
 }
 
 // Atom is a body atom: a predicate or an equation.
@@ -141,7 +148,7 @@ func clonePred(p Pred) Pred {
 	for i, a := range p.Args {
 		args[i] = a.Clone()
 	}
-	return Pred{Name: p.Name, Args: args}
+	return Pred{Name: p.Name, Args: args, Pos: p.Pos}
 }
 
 func cloneAtom(a Atom) Atom {
@@ -149,7 +156,7 @@ func cloneAtom(a Atom) Atom {
 	case Pred:
 		return clonePred(x)
 	case Eq:
-		return Eq{L: x.L.Clone(), R: x.R.Clone()}
+		return Eq{L: x.L.Clone(), R: x.R.Clone(), Pos: x.Pos}
 	}
 	return a
 }
@@ -204,7 +211,7 @@ func applySubstPred(p Pred, s Subst) Pred {
 	for i, a := range p.Args {
 		args[i] = s.Apply(a)
 	}
-	return Pred{Name: p.Name, Args: args}
+	return Pred{Name: p.Name, Args: args, Pos: p.Pos}
 }
 
 func applySubstAtom(a Atom, s Subst) Atom {
@@ -212,7 +219,7 @@ func applySubstAtom(a Atom, s Subst) Atom {
 	case Pred:
 		return applySubstPred(x, s)
 	case Eq:
-		return Eq{L: s.Apply(x.L), R: s.Apply(x.R)}
+		return Eq{L: s.Apply(x.L), R: s.Apply(x.R), Pos: x.Pos}
 	}
 	return a
 }
@@ -335,11 +342,21 @@ func sortedKeys(set map[string]bool) []string {
 
 // Arities returns the arity of every relation name, or an error if a
 // name is used with inconsistent arities (schemas fix arities, §2.1).
+// The error is a *PosError positioned at the conflicting use when the
+// program was parsed from source.
 func (p Program) Arities() (map[string]int, error) {
 	out := map[string]int{}
+	first := map[string]Position{}
 	record := func(pr Pred) error {
 		if prev, ok := out[pr.Name]; ok && prev != len(pr.Args) {
-			return fmt.Errorf("relation %s used with arities %d and %d", pr.Name, prev, len(pr.Args))
+			msg := fmt.Sprintf("relation %s used with arities %d and %d", pr.Name, prev, len(pr.Args))
+			if fp := first[pr.Name]; fp.IsValid() {
+				msg += fmt.Sprintf(" (first used at %s)", fp)
+			}
+			return posErrorf(pr.Pos, "%s", msg)
+		}
+		if _, ok := out[pr.Name]; !ok {
+			first[pr.Name] = pr.Pos
 		}
 		out[pr.Name] = len(pr.Args)
 		return nil

@@ -8,7 +8,9 @@ import (
 // Validate checks the well-formedness conditions of Section 2.2:
 // every rule is safe, relation arities are consistent, and negation is
 // stratified — when a negated predicate ¬P occurs in some stratum, no
-// rule in that stratum or a later one has P in its head.
+// rule in that stratum or a later one has P in its head. Errors are
+// *PosError values positioned at the offending rule or atom when the
+// program was parsed from source.
 func (p Program) Validate() error {
 	if _, err := p.Arities(); err != nil {
 		return err
@@ -16,7 +18,7 @@ func (p Program) Validate() error {
 	for si, s := range p.Strata {
 		for ri, r := range s {
 			if !r.Safe() {
-				return fmt.Errorf("stratum %d rule %d is unsafe: %s", si+1, ri+1, r)
+				return posErrorf(r.Head.Pos, "stratum %d rule %d is unsafe: %s", si+1, ri+1, r)
 			}
 		}
 	}
@@ -40,7 +42,7 @@ func (p Program) Validate() error {
 					continue
 				}
 				if pr, ok := l.Atom.(Pred); ok && headFrom[si][pr.Name] {
-					return fmt.Errorf("stratum %d: negated predicate %s is defined in this or a later stratum (negation not stratified)", si+1, pr.Name)
+					return posErrorf(pr.Pos, "stratum %d: negated predicate %s is defined in this or a later stratum (negation not stratified)", si+1, pr.Name)
 				}
 			}
 		}
@@ -48,10 +50,59 @@ func (p Program) Validate() error {
 	return nil
 }
 
+// NegationCycleWitness finds a negated body atom whose predicate is in
+// the same dependency-graph strongly connected component as the rule's
+// head — the witness that no stratification exists (recursion through
+// negation). It returns the zero Pred and false when every negation
+// leaves its component.
+func NegationCycleWitness(rules []Rule) (head string, atom Pred, ok bool) {
+	g := dependencyGraphOf(rules)
+	ids := sccIDs(g)
+	for _, r := range rules {
+		hid, hok := ids[r.Head.Name]
+		if !hok {
+			continue
+		}
+		for _, l := range r.Body {
+			if !l.Neg {
+				continue
+			}
+			if pr, isPred := l.Atom.(Pred); isPred {
+				if pid, pok := ids[pr.Name]; pok && pid == hid {
+					return r.Head.Name, pr, true
+				}
+			}
+		}
+	}
+	return "", Pred{}, false
+}
+
+func dependencyGraphOf(rules []Rule) map[string][]string {
+	return Program{Strata: []Stratum{rules}}.DependencyGraph()
+}
+
 // AutoStratify arranges a flat list of rules into a minimal sequence of
 // strata with stratified negation, or fails when no stratification
-// exists (a cycle through negation).
+// exists (a cycle through negation). The failure is a *PosError
+// positioned at a negated atom on the offending cycle when the rules
+// were parsed from source.
 func AutoStratify(rules []Rule) (Program, error) {
+	prog, err := StratifyLevels(rules)
+	if err != nil {
+		return Program{}, err
+	}
+	if err := prog.Validate(); err != nil {
+		return Program{}, fmt.Errorf("auto-stratification failed: %w", err)
+	}
+	return prog, nil
+}
+
+// StratifyLevels arranges rules into strata by the level algorithm
+// alone, without validating rule safety: it fails only when no
+// stratification exists (recursion through negation). Analysis
+// tooling uses it to obtain a well-ordered program for diagnosis even
+// when some rules are unsafe; evaluation goes through AutoStratify.
+func StratifyLevels(rules []Rule) (Program, error) {
 	idb := map[string]bool{}
 	for _, r := range rules {
 		idb[r.Head.Name] = true
@@ -64,6 +115,9 @@ func AutoStratify(rules []Rule) (Program, error) {
 	maxIter := len(idb)*len(idb) + len(idb) + 2
 	for iter := 0; ; iter++ {
 		if iter > maxIter {
+			if head, atom, ok := NegationCycleWitness(rules); ok {
+				return Program{}, posErrorf(atom.Pos, "no stratification exists: recursion through negation (!%s is reachable from %s)", atom.Name, head)
+			}
 			return Program{}, fmt.Errorf("no stratification exists: recursion through negation")
 		}
 		changed := false
@@ -109,11 +163,7 @@ func AutoStratify(rules []Rule) (Program, error) {
 	if len(filled) == 0 {
 		filled = []Stratum{{}}
 	}
-	prog := Program{Strata: filled}
-	if err := prog.Validate(); err != nil {
-		return Program{}, fmt.Errorf("auto-stratification failed: %w", err)
-	}
-	return prog, nil
+	return Program{Strata: filled}, nil
 }
 
 // SplitStrataSingleIDB refines a nonrecursive program so that every

@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"seqlog/internal/analyze"
+	"seqlog/internal/parser"
+)
+
+// TestCompileRejectsWithStructuredDiagnostics: an unsafe program must
+// be rejected by Compile with a *analyze.DiagError whose diagnostics
+// carry real source positions — not an opaque string.
+func TestCompileRejectsWithStructuredDiagnostics(t *testing.T) {
+	prog, _, err := parser.ParseProgramForAnalysis("S($y.a) :- R($x).\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Compile(prog)
+	if err == nil {
+		t.Fatal("Compile accepted an unsafe program")
+	}
+	var de *analyze.DiagError
+	if !errors.As(err, &de) {
+		t.Fatalf("Compile error is %T, want *analyze.DiagError: %v", err, err)
+	}
+	errs := analyze.Errors(de.Diags)
+	if len(errs) != 1 {
+		t.Fatalf("got %d error diagnostics, want 1: %v", len(errs), de.Diags)
+	}
+	d := errs[0]
+	if d.Code != "unbound-head-var" {
+		t.Errorf("code = %q, want unbound-head-var", d.Code)
+	}
+	if d.Pos.Line != 1 || d.Pos.Col != 1 {
+		t.Errorf("pos = %d:%d, want 1:1", d.Pos.Line, d.Pos.Col)
+	}
+	if !strings.Contains(err.Error(), "unbound-head-var") {
+		t.Errorf("err.Error() = %q, want it to mention the code", err)
+	}
+}
+
+// TestCompileRejectsUnstratifiedExplicitStrata: explicit strata that
+// negate a later stratum are rejected with unstratified-negation.
+func TestCompileRejectsUnstratifiedExplicitStrata(t *testing.T) {
+	prog, explicit, err := parser.ParseProgramForAnalysis(
+		"Odd($x) :- Next($x), !Even($x).\n---\nEven($x) :- Next($x).\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !explicit {
+		t.Fatal("expected explicit strata")
+	}
+	_, err = Compile(prog)
+	var de *analyze.DiagError
+	if !errors.As(err, &de) {
+		t.Fatalf("Compile error is %T, want *analyze.DiagError: %v", err, err)
+	}
+	if errs := analyze.Errors(de.Diags); len(errs) != 1 || errs[0].Code != "unstratified-negation" {
+		t.Fatalf("diagnostics = %v, want one unstratified-negation", de.Diags)
+	}
+}
+
+// TestPreparedCarriesWarnings: a program that compiles fine but trips
+// lints surfaces them through Prepared.Diagnostics, and the warnings
+// do not disturb evaluation.
+func TestPreparedCarriesWarnings(t *testing.T) {
+	prog, _, err := parser.ParseProgramForAnalysis(
+		"T(@x.@z) :- T(@x.@y), E(@y.@z).\nT(@x.@y) :- E(@x.@y).\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prep, err := Compile(prog)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	codes := map[string]int{}
+	for _, d := range prep.Diagnostics() {
+		if d.Severity == analyze.Error {
+			t.Errorf("Diagnostics() carries an error: %s", d)
+		}
+		codes[d.Code]++
+	}
+	// The unary encoding of transitive closure leaves the recursive
+	// join unindexable for deltas on E — exactly what the perf pass is
+	// for — and the fragment info is always reported.
+	if codes["full-scan-delta"] == 0 {
+		t.Errorf("unary TC drew no full-scan-delta warning; got %v", codes)
+	}
+	if codes["fragment"] != 1 {
+		t.Errorf("fragment info count = %d, want 1; got %v", codes["fragment"], codes)
+	}
+
+	out, err := prep.Eval(parser.MustParseInstance("E(a.b). E(b.c)."), Limits{})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if got := out.Relation("T").Len(); got != 3 {
+		t.Errorf("|T| = %d, want 3", got)
+	}
+}
+
+// TestPreparedDiagnosticsIsACopy: mutating the returned slice must not
+// corrupt the Prepared's own record.
+func TestPreparedDiagnosticsIsACopy(t *testing.T) {
+	prog, _, err := parser.ParseProgramForAnalysis("S($x) :- R($x).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := prep.Diagnostics()
+	if len(first) == 0 {
+		t.Fatal("expected at least the fragment info diagnostic")
+	}
+	first[0].Code = "clobbered"
+	if again := prep.Diagnostics(); again[0].Code == "clobbered" {
+		t.Error("Diagnostics() aliases internal state")
+	}
+}

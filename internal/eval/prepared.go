@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 
+	"seqlog/internal/analyze"
 	"seqlog/internal/ast"
 	"seqlog/internal/instance"
 )
@@ -51,15 +52,23 @@ type Prepared struct {
 	arities map[string]int
 	// idb marks the relation names defined by some rule head.
 	idb map[string]bool
+	// diags holds the non-error diagnostics (warnings and infos) the
+	// static analyzer reported at compile time.
+	diags []analyze.Diagnostic
 }
 
-// Compile validates and plans a program once, returning a reusable
-// *Prepared: rule safety and stratification are checked, arities
-// resolved, and every rule's join plan built. The program is deep
-// copied, so later mutation of prog cannot corrupt the compiled form.
+// Compile analyzes and plans a program once, returning a reusable
+// *Prepared. The static analyzer (internal/analyze) checks rule
+// safety, arity consistency, and stratified negation; a program with
+// error-severity diagnostics is rejected with an *analyze.DiagError
+// carrying the structured list. Warnings and infos do not block
+// compilation and are surfaced through Diagnostics. The program is
+// deep copied, so later mutation of prog cannot corrupt the compiled
+// form.
 func Compile(prog ast.Program) (*Prepared, error) {
-	if err := prog.Validate(); err != nil {
-		return nil, err
+	diags := analyze.Check(prog, analyze.Options{ExplicitStrata: true})
+	if analyze.HasErrors(diags) {
+		return nil, &analyze.DiagError{Diags: diags}
 	}
 	arities, err := prog.Arities()
 	if err != nil {
@@ -70,6 +79,7 @@ func Compile(prog ast.Program) (*Prepared, error) {
 		prog:    prog,
 		arities: arities,
 		idb:     map[string]bool{},
+		diags:   diags,
 	}
 	for si, stratum := range prog.Strata {
 		ps := preparedStratum{
@@ -132,6 +142,17 @@ func Compile(prog ast.Program) (*Prepared, error) {
 
 // Program returns (a copy of) the compiled program.
 func (p *Prepared) Program() ast.Program { return p.prog.Clone() }
+
+// Diagnostics returns the non-error findings (warnings and infos) the
+// static analyzer reported when the program was compiled: possible
+// nontermination through sequence growth, dead rules, joins that
+// degenerate to scans under incremental maintenance, and the program's
+// fragment. The slice is a copy; the Prepared stays immutable.
+func (p *Prepared) Diagnostics() []analyze.Diagnostic {
+	out := make([]analyze.Diagnostic, len(p.diags))
+	copy(out, p.diags)
+	return out
+}
 
 // Arity returns the arity of a relation named by the program, and
 // whether the program names it at all.

@@ -79,6 +79,36 @@ func ParseProgramExplicit(src string) (ast.Program, error) {
 	return prog, nil
 }
 
+// ParseProgramForAnalysis parses a program for static analysis,
+// skipping the safety and stratification validation that ParseProgram
+// performs: analyzers want to diagnose broken programs with positions,
+// not refuse to look at them. Explicit strata are kept exactly as
+// written (explicit reports true); otherwise the rules are arranged by
+// stratification levels when possible and kept as a single stratum
+// when no stratification exists (the analyzer reports the negation
+// cycle itself). Only lexical and grammatical errors are returned.
+func ParseProgramForAnalysis(src string) (prog ast.Program, explicit bool, err error) {
+	strata, explicit, err := parseStrata(src)
+	if err != nil {
+		return ast.Program{}, false, err
+	}
+	if explicit {
+		return ast.Program{Strata: strata}, true, nil
+	}
+	var rules []ast.Rule
+	for _, s := range strata {
+		rules = append(rules, s...)
+	}
+	leveled, err := ast.StratifyLevels(rules)
+	if err != nil {
+		// Recursion through negation: no ordering exists. Hand the
+		// analyzer the rules as written; its negation-cycle pass will
+		// report the cycle with positions.
+		return ast.Program{Strata: []ast.Stratum{rules}}, false, nil
+	}
+	return leveled, false, nil
+}
+
 // ParseRules parses a flat list of rules, ignoring stratum separators.
 func ParseRules(src string) ([]ast.Rule, error) {
 	strata, _, err := parseStrata(src)
@@ -165,7 +195,7 @@ func (p *parser) parsePred() (ast.Pred, error) {
 	if err != nil {
 		return ast.Pred{}, err
 	}
-	pred := ast.Pred{Name: t.text}
+	pred := ast.Pred{Name: t.text, Pos: ast.Position{Line: t.line, Col: t.col}}
 	if p.cur().kind != tokLParen {
 		return pred, nil
 	}
@@ -215,7 +245,7 @@ func (p *parser) parseLiteral() (ast.Literal, error) {
 		if err != nil {
 			return ast.Literal{}, err
 		}
-		eq := ast.Eq{L: e, R: r}
+		eq := ast.Eq{L: e, R: r, Pos: ast.Position{Line: start.line, Col: start.col}}
 		if op.kind == tokNeq {
 			if neg {
 				return ast.Literal{}, p.errf(op, "cannot negate a nonequality")
@@ -227,7 +257,7 @@ func (p *parser) parseLiteral() (ast.Literal, error) {
 		// Must be a nullary predicate: a single bare identifier.
 		if len(e) == 1 {
 			if c, ok := e[0].(ast.Const); ok && start.kind == tokIdent {
-				return ast.Literal{Neg: neg, Atom: ast.Pred{Name: c.A.Text()}}, nil
+				return ast.Literal{Neg: neg, Atom: ast.Pred{Name: c.A.Text(), Pos: ast.Position{Line: start.line, Col: start.col}}}, nil
 			}
 		}
 		return ast.Literal{}, p.errf(p.cur(), "expected '=' or '!=' after expression, or a predicate")

@@ -34,6 +34,7 @@ package seqlog
 
 import (
 	"seqlog/internal/algebra"
+	"seqlog/internal/analyze"
 	"seqlog/internal/ast"
 	"seqlog/internal/core"
 	"seqlog/internal/eval"
@@ -143,9 +144,45 @@ type (
 	EngineStats = eval.EngineStats
 )
 
-// Compile validates and plans a program once, returning a reusable
-// *Prepared. Eval/Query/Holds are one-shot conveniences built on it.
+// Compile analyzes and plans a program once, returning a reusable
+// *Prepared. A program with error-severity diagnostics is rejected
+// with a *DiagError; warnings are surfaced on Prepared.Diagnostics.
+// Eval/Query/Holds are one-shot conveniences built on it.
 func Compile(p Program) (*Prepared, error) { return eval.Compile(p) }
+
+// Static analysis (the seqlog -vet layer).
+type (
+	// Diagnostic is one static-analysis finding: a positioned, coded
+	// message (see docs/analysis.md for the catalog).
+	Diagnostic = analyze.Diagnostic
+	// DiagSeverity is the gravity of a Diagnostic.
+	DiagSeverity = analyze.Severity
+	// DiagError is the error Compile returns when the analyzer rejects
+	// a program; it carries the structured diagnostic list.
+	DiagError = analyze.DiagError
+	// VetOptions configures Vet.
+	VetOptions = analyze.Options
+)
+
+// Diagnostic severities.
+const (
+	SeverityInfo    = analyze.Info
+	SeverityWarning = analyze.Warning
+	SeverityError   = analyze.Error
+)
+
+// Vet runs every registered static-analysis pass over the program and
+// returns the diagnostics sorted by position: range-restriction and
+// stratification errors, sequence-growth (nontermination) and dead-code
+// warnings, incremental-maintenance performance lints, and the
+// program's fragment. Compile runs the same analysis; Vet is for tools
+// that want the full report without compiling.
+func Vet(p Program, opts VetOptions) []Diagnostic {
+	if opts.ClassLabel == nil {
+		opts.ClassLabel = func(f FeatureSet) string { return core.ClassOf(f).Label() }
+	}
+	return analyze.Check(p, opts)
+}
 
 // NewEngine runs the initial fixpoint of a compiled program over edb
 // (shared copy-on-write; a nil edb means empty) and returns the live
