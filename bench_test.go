@@ -394,6 +394,28 @@ func BenchmarkIncrementalAssert(b *testing.B) {
 			}
 		})
 	}
+	// The same k=1 stream maintained with the base plans (delta-hoisted
+	// plan variants off): the recursive join falls back to scanning a
+	// side of the rule per delta window instead of index-probing it.
+	// The gap between this series and incremental/k=1 is the variants'
+	// contribution; CI tracks both (scripts/bench.sh).
+	b.Run("incremental-novariants/k=1", func(b *testing.B) {
+		defer func(old bool) { eval.DeltaVariants = old }(eval.DeltaVariants)
+		eval.DeltaVariants = false
+		engine, err := eval.NewEngine(prep, edb, eval.Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			delta := NewInstance()
+			delta.AddPath("R", PathOf(
+				fmt.Sprintf("h%d", i), fmt.Sprintf("h%d", i+1)))
+			if _, err := engine.Assert(delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	// The serving loop interleaves reads with writes: each Query
 	// freezes the relations it returns, so the next assert's first
 	// write pays one copy-on-write clone per touched relation. This
@@ -452,6 +474,27 @@ func BenchmarkIncrementalRetract(b *testing.B) {
 		return delta
 	}
 	b.Run("retract/k=1", func(b *testing.B) {
+		engine, err := eval.NewEngine(prep, edb, eval.Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Retract(edgeBatch(i)); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if _, err := engine.Assert(edgeBatch(i)); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	// DRed with the base plans (delta-hoisted variants off), for the
+	// same trajectory comparison as incremental-novariants.
+	b.Run("retract-novariants/k=1", func(b *testing.B) {
+		defer func(old bool) { eval.DeltaVariants = old }(eval.DeltaVariants)
+		eval.DeltaVariants = false
 		engine, err := eval.NewEngine(prep, edb, eval.Limits{})
 		if err != nil {
 			b.Fatal(err)

@@ -310,9 +310,9 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				reply("err %v", err)
 				continue
 			}
-			reply("ok asserted=%d derived=%d overdeleted=%d rederived=%d skipped=%d incremental=%d",
+			reply("ok asserted=%d derived=%d overdeleted=%d rederived=%d skipped=%d incremental=%d%s",
 				stats.Asserted, stats.Derived, stats.Overdeleted, stats.Rederived,
-				stats.StrataSkipped, stats.StrataIncremental)
+				stats.StrataSkipped, stats.StrataIncremental, planCounters(stats.Plans))
 		case "retract":
 			e, err := s.current()
 			if err != nil {
@@ -329,9 +329,9 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				reply("err %v", err)
 				continue
 			}
-			reply("ok retracted=%d derived=%d overdeleted=%d rederived=%d skipped=%d incremental=%d",
+			reply("ok retracted=%d derived=%d overdeleted=%d rederived=%d skipped=%d incremental=%d%s",
 				stats.Retracted, stats.Derived, stats.Overdeleted, stats.Rederived,
-				stats.StrataSkipped, stats.StrataIncremental)
+				stats.StrataSkipped, stats.StrataIncremental, planCounters(stats.Plans))
 		case "query":
 			e, err := s.current()
 			if err != nil {
@@ -374,9 +374,9 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				continue
 			}
 			st := e.Stats()
-			reply("ok facts=%d derived=%d asserts=%d retracts=%d warnings=%d rejected_loads=%d",
+			reply("ok facts=%d derived=%d asserts=%d retracts=%d warnings=%d rejected_loads=%d delta_variants=%t%s",
 				st.Facts, st.Derived, st.Asserts, st.Retracts,
-				len(s.loadWarnings()), s.rejectedLoads())
+				len(s.loadWarnings()), s.rejectedLoads(), st.DeltaVariants, planCounters(st.Plans))
 		case "explain":
 			e, err := s.current()
 			if err != nil {
@@ -399,6 +399,16 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 	if err := in.Err(); err != nil {
 		reply("err %v", err)
 	}
+}
+
+// planCounters renders the plan-execution counters appended to
+// assert/retract/stats replies: how often maintenance ran a
+// delta-hoisted plan variant vs a base plan, and how the non-delta
+// join steps of those runs were served (exact index, ground-prefix or
+// ground-suffix probe, full scan).
+func planCounters(ps eval.PlanStats) string {
+	return fmt.Sprintf(" plan_variant=%d plan_base=%d probe_index=%d probe_prefix=%d probe_suffix=%d scan=%d",
+		ps.VariantRuns, ps.BaseRuns, ps.IndexProbeSteps, ps.PrefixProbeSteps, ps.SuffixProbeSteps, ps.ScanSteps)
 }
 
 func fail(err error) {

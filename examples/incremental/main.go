@@ -8,9 +8,10 @@
 // survive the loss of one support. Readers meanwhile query
 // copy-on-write snapshots that no update can disturb. The workload is
 // §5.1.1 graph reachability — in the binary pair form T(from, to),
-// which keeps every maintenance join index-probeable (see
-// program.sdl; `seqlog -vet -program examples/incremental/program.sdl`
-// confirms it carries no full-scan-delta warning).
+// which keeps every maintenance join on an exact index probe (see
+// program.sdl; `seqlog -explain` prints each rule's delta-hoisted
+// plan variants and their access paths, and `seqlog -vet` confirms
+// the program carries no full-scan-delta warning).
 package main
 
 import (

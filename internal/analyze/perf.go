@@ -11,10 +11,11 @@ import (
 // occurrence Δ of a multi-join rule it asks: when maintenance is
 // driven by a delta on Δ (only Δ's variables bound up front), can the
 // remaining predicates all be joined through an exact index probe
-// (some argument position fully bound) or a prefix probe (a ground
-// leading term)? A predicate that qualifies for neither is matched by
-// a full relation scan per delta tuple — the join degenerates to
-// nested loops exactly when the engine is supposed to be incremental.
+// (some argument position fully bound), a prefix probe (a ground
+// leading term) or a suffix probe (a ground trailing term)? A
+// predicate that qualifies for none is matched by a full relation
+// scan per delta tuple — the join degenerates to nested loops exactly
+// when the engine is supposed to be incremental.
 //
 // Code: full-scan-delta (warning), reported at the scanned predicate.
 var PerfAnalyzer = &Analyzer{
@@ -58,9 +59,9 @@ func checkRulePerf(p *Pass, r ast.Rule) {
 				remaining = append(remaining, i)
 			}
 		}
-		// Greedy ordering mirroring eval's compileWith: pick the
-		// predicate with the best (bound columns, ground prefix, bound
-		// occurrences) score, ties keeping body order.
+		// Greedy ordering mirroring eval's compilePlan: pick the
+		// predicate with the best (bound columns, ground prefix, ground
+		// suffix, bound occurrences) score, ties keeping body order.
 		for len(remaining) > 0 {
 			best := 0
 			bestScore := joinScore(preds[remaining[0]], bound)
@@ -72,7 +73,7 @@ func checkRulePerf(p *Pass, r ast.Rule) {
 			idx := remaining[best]
 			remaining = append(remaining[:best], remaining[best+1:]...)
 			pr := preds[idx]
-			if bestScore[0] == 0 && bestScore[1] == 0 && len(pr.Args) > 0 {
+			if bestScore[0] == 0 && bestScore[1] == 0 && bestScore[2] == 0 && len(pr.Args) > 0 {
 				name := preds[d].Name
 				dup := false
 				for _, n := range scanned[idx] {
@@ -101,15 +102,16 @@ func checkRulePerf(p *Pass, r ast.Rule) {
 			deltas[j] = "Δ" + n
 		}
 		p.Reportf(pr.Pos, Warning, "full-scan-delta",
-			"%s is joined by a full scan when maintenance is driven by %s: no argument position becomes fully bound or prefix-ground, so no index applies (consider reordering shared variables)",
+			"%s is joined by a full scan when maintenance is driven by %s: no argument position becomes fully bound, prefix-ground or suffix-ground, so no index applies (consider reordering shared variables)",
 			pr.Name, strings.Join(deltas, ", "))
 	}
 }
 
 // joinScore mirrors eval's predScore: (fully bound argument positions,
-// longest ground argument term prefix, bound variable occurrences).
-func joinScore(pr ast.Pred, bound map[ast.Var]bool) [3]int {
-	var s [3]int
+// longest ground argument term prefix, longest ground argument term
+// suffix, bound variable occurrences).
+func joinScore(pr ast.Pred, bound map[ast.Var]bool) [4]int {
+	var s [4]int
 	for _, a := range pr.Args {
 		if exprBound(a, bound) {
 			s[0]++
@@ -118,6 +120,9 @@ func joinScore(pr ast.Pred, bound map[ast.Var]bool) [3]int {
 		if n := groundPrefix(a, bound); n > s[1] {
 			s[1] = n
 		}
+		if n := groundSuffix(a, bound); n > s[2] {
+			s[2] = n
+		}
 	}
 	occ := map[ast.Var]int{}
 	for _, a := range pr.Args {
@@ -125,13 +130,13 @@ func joinScore(pr ast.Pred, bound map[ast.Var]bool) [3]int {
 	}
 	for v, n := range occ {
 		if bound[v] {
-			s[2] += n
+			s[3] += n
 		}
 	}
 	return s
 }
 
-func scoreLess(a, b [3]int) bool {
+func scoreLess(a, b [4]int) bool {
 	for i := range a {
 		if a[i] != b[i] {
 			return a[i] < b[i]
@@ -154,22 +159,35 @@ func exprBound(e ast.Expr, bound map[ast.Var]bool) bool {
 func groundPrefix(e ast.Expr, bound map[ast.Var]bool) int {
 	n := 0
 	for _, t := range e {
-		switch x := t.(type) {
-		case ast.Const:
-			n++
-			continue
-		case ast.VarT:
-			if bound[x.V] {
-				n++
-				continue
-			}
-		case ast.Pack:
-			if exprBound(x.E, bound) {
-				n++
-				continue
-			}
+		if !termGround(t, bound) {
+			return n
 		}
-		return n
+		n++
 	}
 	return n
+}
+
+// groundSuffix counts the trailing terms whose variables are all
+// bound, mirroring eval's groundSuffixTerms.
+func groundSuffix(e ast.Expr, bound map[ast.Var]bool) int {
+	n := 0
+	for i := len(e) - 1; i >= 0; i-- {
+		if !termGround(e[i], bound) {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+func termGround(t ast.Term, bound map[ast.Var]bool) bool {
+	switch x := t.(type) {
+	case ast.Const:
+		return true
+	case ast.VarT:
+		return bound[x.V]
+	case ast.Pack:
+		return exprBound(x.E, bound)
+	}
+	return false
 }

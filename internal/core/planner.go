@@ -18,8 +18,9 @@ type PlanResult struct {
 	Steps []string
 	// JoinPlan describes, rule by rule, the join plan the indexed
 	// evaluator chooses for the rewritten program (predicate order and
-	// access paths), so fragment-aware rewrites surface the same
-	// execution machinery as direct evaluation. Empty when the
+	// access paths; indented lines are the rule's delta-hoisted
+	// maintenance variants), so fragment-aware rewrites surface the
+	// same execution machinery as direct evaluation. Empty when the
 	// rewritten program fails to compile (recorded in Note).
 	JoinPlan []string
 	// Exact reports whether Achieved ⊆ target. When false, the

@@ -245,9 +245,17 @@ func TestRewriteToCarriesJoinPlan(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(res.JoinPlan) != len(res.Program.Rules()) {
-			t.Fatalf("target %s: %d join-plan lines for %d rules:\n%s",
-				target, len(res.JoinPlan), len(res.Program.Rules()), strings.Join(res.JoinPlan, "\n"))
+		// One base-plan line per rule; indented lines are the rule's
+		// delta-hoisted variants.
+		base := 0
+		for _, line := range res.JoinPlan {
+			if !strings.HasPrefix(line, " ") {
+				base++
+			}
+		}
+		if base != len(res.Program.Rules()) {
+			t.Fatalf("target %s: %d base join-plan lines for %d rules:\n%s",
+				target, base, len(res.Program.Rules()), strings.Join(res.JoinPlan, "\n"))
 		}
 		for _, line := range res.JoinPlan {
 			if !strings.Contains(line, "[") {

@@ -122,6 +122,9 @@ type maintenance struct {
 
 	overdeleted, rederived int
 	skipped, incremental   int
+	// planStats counts the plan executions of this run and their access
+	// paths, folded into AssertStats/RetractStats.Plans by the caller.
+	planStats PlanStats
 }
 
 func (e *Engine) newMaintenance() *maintenance {
@@ -337,12 +340,18 @@ func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone m
 	}
 	// Insertions under negation: derivations whose negated atom matches
 	// a fact inserted by this run held before the insertion and are
-	// invalid now.
+	// invalid now. With variants the inserted tuples are enumerated and
+	// the pre-bound neg variant runs once per (tuple, match) — the
+	// binding grounds the rest of the body into probes — instead of one
+	// full base-plan run filtered by the delta probe; both shapes visit
+	// exactly the valuations whose negated atom evaluates into a window.
 	for _, p := range ps.plans {
+		negIdx := -1
 		for j, s := range p.steps {
 			if s.kind != stepNegPred {
 				continue
 			}
+			negIdx++
 			name := s.pred.Name
 			var wins []window
 			for _, w := range m.ins[name][insDone[name]:] {
@@ -369,7 +378,38 @@ func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone m
 				}
 				return false
 			}
+			if e.variants && negIdx < len(p.negVariants) {
+				nv := p.negVariants[negIdx]
+				rel := e.inst.Relation(name)
+				if rel == nil {
+					continue
+				}
+				env := NewEnv()
+				var runErr error
+				for _, w := range wins {
+					for pos := w.lo; pos < w.hi && runErr == nil; pos++ {
+						// Skip tuples already deleted again: the old full-run
+						// probe required a live position too.
+						if !rel.Live(pos) {
+							continue
+						}
+						env.MatchTuple(nv.pred.Args, rel.TupleAt(pos), func() {
+							if runErr != nil {
+								return
+							}
+							opts := runOpts{includeDead: true, negStep: nv.step, negProbe: probe, env: env}
+							nv.p.note(&m.planStats, -1)
+							runErr = runPlanOpts(nv.p, e.inst, -1, 0, 0, sink, opts)
+						})
+					}
+				}
+				if runErr != nil {
+					return runErr
+				}
+				continue
+			}
 			opts := runOpts{includeDead: true, negStep: j, negProbe: probe}
+			p.note(&m.planStats, -1)
 			if err := runPlanOpts(p, e.inst, -1, 0, 0, sink, opts); err != nil {
 				return err
 			}
@@ -396,8 +436,9 @@ func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone m
 		}
 		ran := false
 		for _, p := range ps.plans {
-			for _, stepIdx := range p.predSteps {
-				name := p.steps[stepIdx].pred.Name
+			for k := range p.predSteps {
+				run, deltaStep := deltaPlan(p, k, e.variants)
+				name := run.steps[deltaStep].pred.Name
 				dl := m.del[name]
 				if dl == nil {
 					continue
@@ -405,7 +446,8 @@ func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone m
 				for _, r := range m.delRanges(name, proc[name], cur[name], si) {
 					ran = true
 					opts := runOpts{deltaRel: dl, includeDead: true, negStep: -1}
-					if err := runPlanOpts(p, e.inst, stepIdx, r[0], r[1], sink, opts); err != nil {
+					run.note(&m.planStats, deltaStep)
+					if err := runPlanOpts(run, e.inst, deltaStep, r[0], r[1], sink, opts); err != nil {
 						return err
 					}
 				}
@@ -544,8 +586,9 @@ func (m *maintenance) rederive(ps *preparedStratum, si int) error {
 			return nil
 		}
 		for _, p := range ps.plans {
-			for _, stepIdx := range p.predSteps {
-				name := p.steps[stepIdx].pred.Name
+			for k := range p.predSteps {
+				run, deltaStep := deltaPlan(p, k, e.variants)
+				name := run.steps[deltaStep].pred.Name
 				if !ps.heads[name] {
 					continue
 				}
@@ -553,7 +596,8 @@ func (m *maintenance) rederive(ps *preparedStratum, si int) error {
 				if hi <= lo {
 					continue
 				}
-				if err := runPlan(p, inst, stepIdx, lo, hi, sink); err != nil {
+				run.note(&m.planStats, deltaStep)
+				if err := runPlan(run, inst, deltaStep, lo, hi, sink); err != nil {
 					return err
 				}
 			}
@@ -628,13 +672,20 @@ func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[s
 		return out
 	}
 	// (a) positive deltas over the unconsumed insertion windows: the
-	// classic incremental round, fanned out when configured.
+	// classic incremental round, fanned out when configured. With
+	// variants each window runs the hoisted per-delta plan (delta step
+	// first, rest index-probed) instead of the base plan with a window.
 	if workers > 1 {
 		var items []workItem
 		for _, p := range ps.plans {
-			for _, stepIdx := range p.predSteps {
-				for _, w := range eligible(p.steps[stepIdx].pred.Name) {
-					items = append(items, sliceWindow(p, stepIdx, w.lo, w.hi, workers)...)
+			for k := range p.predSteps {
+				run, deltaStep := deltaPlan(p, k, e.variants)
+				for _, w := range eligible(run.steps[deltaStep].pred.Name) {
+					sl := sliceWindow(run, deltaStep, w.lo, w.hi, workers)
+					for range sl {
+						run.note(&m.planStats, deltaStep)
+					}
+					items = append(items, sl...)
 				}
 			}
 		}
@@ -647,9 +698,11 @@ func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[s
 			return derive(head, env, inst, limits, &e.derived, hb)
 		}
 		for _, p := range ps.plans {
-			for _, stepIdx := range p.predSteps {
-				for _, w := range eligible(p.steps[stepIdx].pred.Name) {
-					if err := runPlan(p, inst, stepIdx, w.lo, w.hi, sink); err != nil {
+			for k := range p.predSteps {
+				run, deltaStep := deltaPlan(p, k, e.variants)
+				for _, w := range eligible(run.steps[deltaStep].pred.Name) {
+					run.note(&m.planStats, deltaStep)
+					if err := runPlan(run, inst, deltaStep, w.lo, w.hi, sink); err != nil {
 						return err
 					}
 				}
@@ -657,16 +710,21 @@ func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[s
 		}
 	}
 	// (b) deletions under negation: a derivation blocked only by a fact
-	// this run removed (and did not restore) is new.
+	// this run removed (and did not restore) is new. With variants the
+	// net-deleted tuples are enumerated from the deletion log and the
+	// pre-bound neg variant runs per (tuple, match), mirroring the
+	// overdelete phase's enumeration.
 	hb := &headScratch{}
 	sink := func(head ast.Pred, env *Env) error {
 		return derive(head, env, inst, limits, &e.derived, hb)
 	}
 	for _, p := range ps.plans {
+		negIdx := -1
 		for j, s := range p.steps {
 			if s.kind != stepNegPred {
 				continue
 			}
+			negIdx++
 			name := s.pred.Name
 			dl := m.del[name]
 			if dl == nil {
@@ -697,14 +755,48 @@ func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[s
 				}
 				return true
 			}
+			if e.variants && negIdx < len(p.negVariants) {
+				nv := p.negVariants[negIdx]
+				rel := e.inst.Relation(name)
+				env := NewEnv()
+				var runErr error
+				for _, rg := range ranges {
+					for pos := rg[0]; pos < rg[1] && runErr == nil; pos++ {
+						// Restored facts are tombstoned in the deletion log
+						// (not net deletions), and a fact re-derived by (a)
+						// is back in the relation — both excluded, exactly
+						// as by the probe above.
+						if !dl.Live(pos) {
+							continue
+						}
+						h, t := dl.HashAt(pos), dl.TupleAt(pos)
+						if rel != nil && rel.ContainsHashed(h, t) {
+							continue
+						}
+						env.MatchTuple(nv.pred.Args, t, func() {
+							if runErr != nil {
+								return
+							}
+							opts := runOpts{negStep: nv.step, negProbe: probe, env: env}
+							nv.p.note(&m.planStats, -1)
+							runErr = runPlanOpts(nv.p, inst, -1, 0, 0, sink, opts)
+						})
+					}
+				}
+				if runErr != nil {
+					return runErr
+				}
+				continue
+			}
 			opts := runOpts{negStep: j, negProbe: probe}
+			p.note(&m.planStats, -1)
 			if err := runPlanOpts(p, inst, -1, 0, 0, sink, opts); err != nil {
 				return err
 			}
 		}
 	}
 	// (c) chase the stratum-local consequences.
-	if err := fixpointRounds(ps.plans, ps.heads, inst, limits, &e.derived, prev); err != nil {
+	if err := fixpointRounds(ps.plans, ps.heads, inst, limits, &e.derived, prev, e.variants, &m.planStats); err != nil {
 		return err
 	}
 	// Record the insertion windows for downstream strata, and collapse

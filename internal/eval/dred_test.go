@@ -318,6 +318,54 @@ H($x) :- C($x).`)
 	}
 }
 
+// TestEngineForwardReadGapUnchangedByVariants pins that delta-hoisted
+// plan variants neither widen nor narrow the documented forward-read
+// over-derivation: on the TestEngineAssertForwardReadDiverges program
+// the variant-maintained engine must derive exactly the same
+// materialization as the base-plan engine — one extra P(c), no more
+// (see docs/serving.md on the divergence).
+func TestEngineForwardReadGapUnchangedByVariants(t *testing.T) {
+	prog := parser.MustParseProgram(`
+H($x) :- A($x).
+---
+P($x) :- H($x), B($x).
+---
+H($x) :- C($x).`)
+	prep, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(variants bool) *Engine {
+		defer func(old bool) { DeltaVariants = old }(DeltaVariants)
+		DeltaVariants = variants
+		e, err := NewEngine(prep, parser.MustParseInstance(`C(c).`), Limits{})
+		if err != nil {
+			t.Fatalf("NewEngine(variants=%v): %v", variants, err)
+		}
+		return e
+	}
+	engOn, engOff := build(true), build(false)
+	for _, e := range []*Engine{engOn, engOff} {
+		if _, err := e.Assert(parser.MustParseInstance(`B(c).`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapOn, err := engOn.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapOff, err := engOff.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := instance.Diff(snapOn, snapOff); d != "" {
+		t.Fatalf("variants changed the forward-read gap: %s", d)
+	}
+	if p := snapOn.Relation("P"); p == nil || p.Len() != 1 {
+		t.Fatalf("P = %v, want the single documented over-derivation P(c)", p)
+	}
+}
+
 // TestEngineRetractNegationEnablesDerivations: deleting a fact a rule
 // negates must create the derivations the fact was blocking, and the
 // new facts must cascade through later strata.

@@ -32,6 +32,15 @@ type Engine struct {
 	retracts int
 	last     AssertStats
 	lastRet  RetractStats
+	// variants is the DeltaVariants setting captured at NewEngine time:
+	// maintenance runs the delta-hoisted per-(rule, delta-predicate)
+	// plans when set, the base plans with a window otherwise. Captured
+	// per engine so concurrently used engines (the differential fuzzer
+	// interleaves both settings) never race on the global.
+	variants bool
+	// plans accumulates the PlanStats of every maintenance run, for
+	// EngineStats.
+	plans PlanStats
 	// seeds holds, for every IDB relation that already had facts in the
 	// initial EDB, the frozen pre-fixpoint relation: seed facts are base
 	// facts, not derivations, so overdeletion never removes them.
@@ -40,6 +49,72 @@ type Engine struct {
 	// be partial, so every later evaluation or read call fails fast
 	// with this error (Stats stays available for diagnostics).
 	broken error
+}
+
+// PlanStats reports which compiled plans a maintenance run executed
+// and the access paths their non-delta join steps used. A "plan
+// execution" is one delta-restricted run of a rule (per change window,
+// per changed atom, per semi-naive round; parallel runs count each
+// window slice); the goal-directed rederivation probes are not
+// counted. The step counters classify every positive non-delta
+// predicate step of those executions by its planned access path, so
+// VariantRuns vs BaseRuns says which plan shape maintenance ran and
+// ScanSteps says how often a body atom still had to be scanned.
+type PlanStats struct {
+	// VariantRuns counts executions of delta-hoisted variant plans;
+	// BaseRuns counts executions of base plans (windowed at the changed
+	// atom's own step — the pre-variant shape, and the fallback when
+	// DeltaVariants is off).
+	VariantRuns int
+	BaseRuns    int
+	// IndexProbeSteps / PrefixProbeSteps / SuffixProbeSteps / ScanSteps
+	// classify the non-delta positive predicate steps of the executed
+	// plans by access path: exact column index, ground-prefix index,
+	// ground-suffix index, or full scan.
+	IndexProbeSteps  int
+	PrefixProbeSteps int
+	SuffixProbeSteps int
+	ScanSteps        int
+}
+
+// add accumulates other into s.
+func (s *PlanStats) add(other PlanStats) {
+	s.VariantRuns += other.VariantRuns
+	s.BaseRuns += other.BaseRuns
+	s.IndexProbeSteps += other.IndexProbeSteps
+	s.PrefixProbeSteps += other.PrefixProbeSteps
+	s.SuffixProbeSteps += other.SuffixProbeSteps
+	s.ScanSteps += other.ScanSteps
+}
+
+// note records one execution of p with the given delta step into st
+// (nil-safe): the plan shape and the access path of every other
+// positive predicate step.
+func (p *plan) note(st *PlanStats, deltaStep int) {
+	if st == nil {
+		return
+	}
+	if p.hoisted {
+		st.VariantRuns++
+	} else {
+		st.BaseRuns++
+	}
+	for _, i := range p.predSteps {
+		if i == deltaStep {
+			continue
+		}
+		s := &p.steps[i]
+		switch {
+		case len(s.boundCols) > 0:
+			st.IndexProbeSteps++
+		case s.prefixCol >= 0:
+			st.PrefixProbeSteps++
+		case s.suffixCol >= 0:
+			st.SuffixProbeSteps++
+		default:
+			st.ScanSteps++
+		}
+	}
 }
 
 // AssertStats reports what one Assert call did, stratum by stratum.
@@ -64,6 +139,9 @@ type AssertStats struct {
 	// negation is handled by targeted overdelete + rederive.
 	StrataSkipped     int
 	StrataIncremental int
+	// Plans reports which plan shapes the run executed and their access
+	// paths; see PlanStats.
+	Plans PlanStats
 }
 
 // RetractStats reports what one Retract call did.
@@ -83,6 +161,8 @@ type RetractStats struct {
 	// StrataSkipped / StrataIncremental: as in AssertStats.
 	StrataSkipped     int
 	StrataIncremental int
+	// Plans: as in AssertStats.
+	Plans PlanStats
 }
 
 // EngineStats is a point-in-time summary of an engine.
@@ -98,6 +178,13 @@ type EngineStats struct {
 	// LastAssert and LastRetract are the stats of the most recent calls.
 	LastAssert  AssertStats
 	LastRetract RetractStats
+	// Plans accumulates the PlanStats of every maintenance run since the
+	// engine was created.
+	Plans PlanStats
+	// DeltaVariants reports whether the engine maintains with the
+	// delta-hoisted plan variants (captured from eval.DeltaVariants at
+	// NewEngine time).
+	DeltaVariants bool
 }
 
 // NewEngine compiles nothing — prep is already compiled — but runs the
@@ -112,10 +199,11 @@ func NewEngine(prep *Prepared, edb *instance.Instance, limits Limits) (*Engine, 
 		edb = instance.New()
 	}
 	e := &Engine{
-		prep:   prep,
-		limits: limits.orDefault(),
-		inst:   edb.Snapshot(),
-		seeds:  map[string]*instance.Relation{},
+		prep:     prep,
+		limits:   limits.orDefault(),
+		inst:     edb.Snapshot(),
+		seeds:    map[string]*instance.Relation{},
+		variants: DeltaVariants,
 	}
 	for name := range prep.idb {
 		if r := e.inst.Relation(name); r != nil {
@@ -187,12 +275,14 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return EngineStats{
-		Facts:       e.inst.Facts(),
-		Derived:     e.derived,
-		Asserts:     e.asserts,
-		Retracts:    e.retracts,
-		LastAssert:  e.last,
-		LastRetract: e.lastRet,
+		Facts:         e.inst.Facts(),
+		Derived:       e.derived,
+		Asserts:       e.asserts,
+		Retracts:      e.retracts,
+		LastAssert:    e.last,
+		LastRetract:   e.lastRet,
+		Plans:         e.plans,
+		DeltaVariants: e.variants,
 	}
 }
 
@@ -284,6 +374,8 @@ func (e *Engine) Assert(delta *instance.Instance) (AssertStats, error) {
 	stats.Rederived = m.rederived
 	stats.StrataSkipped = m.skipped
 	stats.StrataIncremental = m.incremental
+	stats.Plans = m.planStats
+	e.plans.add(m.planStats)
 	e.compactTombstoned()
 	e.asserts++
 	e.last = stats
@@ -371,6 +463,8 @@ func (e *Engine) Retract(delta *instance.Instance) (RetractStats, error) {
 	stats.Rederived = m.rederived
 	stats.StrataSkipped = m.skipped
 	stats.StrataIncremental = m.incremental
+	stats.Plans = m.planStats
+	e.plans.add(m.planStats)
 	e.compactTombstoned()
 	e.retracts++
 	e.lastRet = stats

@@ -16,10 +16,21 @@ import (
 var ErrNonTermination = errors.New("evaluation exceeded limits (program may not terminate)")
 
 // IndexedJoins toggles the indexed join path (exact column indexes and
-// ground-prefix probes chosen by the planner). It is on by default and
-// exists so benchmarks and tests can compare against the naive
-// scan-every-tuple evaluator; both paths compute the same least model.
+// ground-prefix/suffix probes chosen by the planner). It is on by
+// default and exists so benchmarks and tests can compare against the
+// naive scan-every-tuple evaluator; both paths compute the same least
+// model.
 var IndexedJoins = true
+
+// DeltaVariants toggles the delta-hoisted plan variants: per-(rule,
+// delta-predicate) plans compiled alongside the base plan that run the
+// changed atom first and index-probe the rest of the body. It is on by
+// default and exists so benchmarks, tests and the differential fuzzer
+// can compare against base-plan-plus-window maintenance; both settings
+// compute the same fixpoint. An Engine captures the value once at
+// NewEngine time, so concurrently used engines never race on the
+// global; semi-naive rounds inside Prepared.Eval read it per call.
+var DeltaVariants = true
 
 // Limits bound and configure an evaluation. Zero values mean "use the
 // default".
@@ -168,7 +179,21 @@ func runStratum(plans []*plan, local map[string]bool, inst *instance.Instance, l
 			}
 		}
 	}
-	return fixpointRounds(plans, local, inst, limits, derived, prev)
+	return fixpointRounds(plans, local, inst, limits, derived, prev, DeltaVariants, nil)
+}
+
+// deltaPlan resolves which plan runs for the k-th delta-restricted
+// positive predicate of p: with variants enabled and compiled, the
+// hoisted variant (whose delta step is always step 0); otherwise the
+// base plan windowed at the occurrence's own step. The two shapes
+// enumerate exactly the same (rule, changed-atom) pairs — p.variants
+// is indexed by body order, p.predSteps by execution order — so
+// switching between them changes join order only, never coverage.
+func deltaPlan(p *plan, k int, variants bool) (run *plan, deltaStep int) {
+	if variants && len(p.variants) > 0 {
+		return p.variants[k], 0
+	}
+	return p, p.predSteps[k]
 }
 
 // fixpointRounds iterates semi-naive rounds until no local relation
@@ -177,7 +202,10 @@ func runStratum(plans []*plan, local map[string]bool, inst *instance.Instance, l
 // the window start recorded in prev; the appended facts form the next
 // round's windows. Shared by the from-scratch evaluator (after its
 // round 0) and the incremental maintainer (after its delta round).
-func fixpointRounds(plans []*plan, local map[string]bool, inst *instance.Instance, limits Limits, derived *int, prev map[string]int) error {
+// With variants enabled the delta-restricted runs use the hoisted
+// per-delta plans (see deltaPlan); pstats, when non-nil, accumulates
+// plan-execution counters for the maintenance stats.
+func fixpointRounds(plans []*plan, local map[string]bool, inst *instance.Instance, limits Limits, derived *int, prev map[string]int, variants bool, pstats *PlanStats) error {
 	workers := limits.workers()
 	hb := &headScratch{}
 	seqSink := func(head ast.Pred, env *Env) error {
@@ -199,13 +227,14 @@ func fixpointRounds(plans []*plan, local map[string]bool, inst *instance.Instanc
 			return fmt.Errorf("%w: %d fixpoint rounds", ErrNonTermination, iter)
 		}
 		if workers > 1 {
-			if err := runRoundParallel(deltaItems(plans, local, prev, cur, workers), inst, workers, limits, derived); err != nil {
+			if err := runRoundParallel(deltaItems(plans, local, prev, cur, workers, variants, pstats), inst, workers, limits, derived); err != nil {
 				return err
 			}
 		} else {
 			for _, p := range plans {
-				for _, stepIdx := range p.predSteps {
-					name := p.steps[stepIdx].pred.Name
+				for k := range p.predSteps {
+					run, deltaStep := deltaPlan(p, k, variants)
+					name := run.steps[deltaStep].pred.Name
 					if !local[name] {
 						continue
 					}
@@ -213,7 +242,8 @@ func fixpointRounds(plans []*plan, local map[string]bool, inst *instance.Instanc
 					if hi <= lo {
 						continue
 					}
-					if err := runPlan(p, inst, stepIdx, lo, hi, seqSink); err != nil {
+					run.note(pstats, deltaStep)
+					if err := runPlan(run, inst, deltaStep, lo, hi, seqSink); err != nil {
 						return err
 					}
 				}
@@ -404,6 +434,35 @@ func runPlanOpts(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi i
 						poss = rel.PrefixLookup(s.prefixCol, prefix)
 					} else {
 						poss = rel.PrefixLookupAll(s.prefixCol, prefix)
+					}
+					for _, pos := range poss {
+						if pos < lo || pos >= hi {
+							continue
+						}
+						env.MatchTuple(s.pred.Args, rel.TupleAt(pos), func() { exec(i + 1) })
+						if evalErr != nil {
+							return
+						}
+					}
+					return
+				}
+			}
+			if IndexedJoins && s.suffixCol >= 0 {
+				// Suffix probe: the ground trailing terms of one argument
+				// fix a suffix of the corresponding column (the paper's
+				// bound-suffix patterns). Term evaluation concatenates, so
+				// the evaluated trailing terms ARE the suffix of the
+				// evaluated argument; the full MatchTuple below still
+				// verifies every candidate.
+				arg := s.pred.Args[s.suffixCol]
+				sc.bufA = env.EvalAppend(arg[len(arg)-s.suffixLen:], sc.bufA[:0])
+				suffix := sc.bufA
+				if len(suffix) > 0 {
+					var poss []int
+					if liveOnly {
+						poss = rel.SuffixLookup(s.suffixCol, suffix)
+					} else {
+						poss = rel.SuffixLookupAll(s.suffixCol, suffix)
 					}
 					for _, pos := range poss {
 						if pos < lo || pos >= hi {

@@ -50,12 +50,15 @@ const minParallelChunk = 32
 
 // deltaItems builds the work items of one semi-naive round: for each
 // rule and each delta-restricted local predicate, the delta window
-// [prev, cur) sliced into up to `workers` contiguous chunks.
-func deltaItems(plans []*plan, local map[string]bool, prev, cur map[string]int, workers int) []workItem {
+// [prev, cur) sliced into up to `workers` contiguous chunks. With
+// variants each item runs the hoisted per-delta plan (see deltaPlan);
+// pstats, when non-nil, counts one plan execution per item.
+func deltaItems(plans []*plan, local map[string]bool, prev, cur map[string]int, workers int, variants bool, pstats *PlanStats) []workItem {
 	var items []workItem
 	for _, p := range plans {
-		for _, stepIdx := range p.predSteps {
-			name := p.steps[stepIdx].pred.Name
+		for k := range p.predSteps {
+			run, deltaStep := deltaPlan(p, k, variants)
+			name := run.steps[deltaStep].pred.Name
 			if !local[name] {
 				continue
 			}
@@ -63,7 +66,11 @@ func deltaItems(plans []*plan, local map[string]bool, prev, cur map[string]int, 
 			if hi <= lo {
 				continue
 			}
-			items = append(items, sliceWindow(p, stepIdx, lo, hi, workers)...)
+			sl := sliceWindow(run, deltaStep, lo, hi, workers)
+			for range sl {
+				run.note(pstats, deltaStep)
+			}
+			items = append(items, sl...)
 		}
 	}
 	return items

@@ -36,6 +36,14 @@ type step struct {
 	// prefix index. prefixCol is -1 when no argument qualifies.
 	prefixCol int
 	prefixLen int
+	// suffixCol/suffixLen are the mirror image for ground term-suffixes
+	// (e.g. $rest.@y with @y bound — the paper's bound-suffix patterns,
+	// §2.2): any matching tuple's column must end with the suffix's
+	// value, so the step probes a suffix index. Only one of prefix and
+	// suffix is ever set on a step; annotate keeps the longer one
+	// (prefix on ties). suffixCol is -1 when no argument qualifies.
+	suffixCol int
+	suffixLen int
 }
 
 type stepKind int
@@ -46,6 +54,19 @@ const (
 	stepNegPred                 // negated predicate: ground membership test
 	stepNegEq                   // negated equation: ground comparison
 )
+
+// negVariant is a delta-hoisted plan for one negated body predicate:
+// the rule recompiled with that atom's variables assumed bound, so
+// that when maintenance enumerates the changed tuples of the negated
+// relation and matches the atom against each one, the remaining body
+// runs with every position the binding grounds served by index or
+// prefix/suffix probes. step is the index of this atom's stepNegPred
+// within p.steps.
+type negVariant struct {
+	pred ast.Pred
+	p    *plan
+	step int
+}
 
 // plan is a compiled rule: steps execute left to right; positive
 // predicates first (greedily reordered so that steps with more bound
@@ -58,6 +79,20 @@ type plan struct {
 	// predSteps lists the offsets of the stepPred steps within p.steps,
 	// in execution order. Used by semi-naive deltas.
 	predSteps []int
+
+	// hoisted marks a delta variant: the first step is the delta
+	// predicate (iterated over a change window, never the full
+	// relation), and the remaining body was ordered and annotated with
+	// that atom's variables bound.
+	hoisted bool
+	// variants[k] is the rule recompiled with its k-th positive body
+	// predicate (in written body order) hoisted to the first join
+	// position — the plan maintenance runs when the delta sits on that
+	// atom's relation. Populated by compileVariants on base plans only.
+	variants []*plan
+	// negVariants holds one delta-hoisted plan per negated body
+	// predicate, in written body order; see negVariant.
+	negVariants []negVariant
 }
 
 // compile orders the body literals of a safe rule per §2.2's limited
@@ -74,17 +109,28 @@ func compile(r ast.Rule) (*plan, error) {
 // are ground there and the ordering/annotation should exploit them
 // (index and prefix probes instead of scans).
 func compileWith(r ast.Rule, preBound []ast.Var) (*plan, error) {
-	p := &plan{rule: r}
+	return compilePlan(r, preBound, -1)
+}
+
+// compilePlan is the shared planner. hoist, when >= 0, forces the
+// hoist-th positive body predicate (in written body order) to the
+// first join position — the delta-variant shape, where that atom
+// iterates a change window and the rest of the body is ordered
+// greedily with its variables bound.
+func compilePlan(r ast.Rule, preBound []ast.Var, hoist int) (*plan, error) {
+	p := &plan{rule: r, hoisted: hoist >= 0}
 	bound := map[ast.Var]bool{}
 	for _, v := range preBound {
 		bound[v] = true
 	}
 	// 1. Positive predicates, greedily ordered by bound-variable count:
 	// at each point pick the atom with the most fully bound argument
-	// positions (then the longest ground argument prefix, then the most
-	// bound variable occurrences), so later steps arrive with bindings
-	// an index can exploit. Ties keep the written order. Join order
-	// never changes the derived set, only the work to derive it.
+	// positions (then the longest ground argument prefix, then suffix,
+	// then the most bound variable occurrences), so later steps arrive
+	// with bindings an index can exploit. Ties keep the written order.
+	// Join order never changes the derived set, only the work to derive
+	// it. A hoisted plan pins one atom first; the greedy order governs
+	// the rest.
 	var preds []ast.Pred
 	for _, l := range r.Body {
 		if l.Neg {
@@ -94,15 +140,9 @@ func compileWith(r ast.Rule, preBound []ast.Var) (*plan, error) {
 			preds = append(preds, pr)
 		}
 	}
-	for len(preds) > 0 {
-		best, bestScore := 0, predScore(preds[0], bound)
-		for i := 1; i < len(preds); i++ {
-			if s := predScore(preds[i], bound); scoreLess(bestScore, s) {
-				best, bestScore = i, s
-			}
-		}
-		pr := preds[best]
-		preds = append(preds[:best], preds[best+1:]...)
+	takePred := func(i int) {
+		pr := preds[i]
+		preds = append(preds[:i], preds[i+1:]...)
 		st := step{kind: stepPred, pred: pr}
 		annotate(&st, bound)
 		p.predSteps = append(p.predSteps, len(p.steps))
@@ -112,6 +152,21 @@ func compileWith(r ast.Rule, preBound []ast.Var) (*plan, error) {
 				bound[v] = true
 			}
 		}
+	}
+	if hoist >= 0 {
+		if hoist >= len(preds) {
+			return nil, fmt.Errorf("eval: hoist index %d out of range for rule %s", hoist, r)
+		}
+		takePred(hoist)
+	}
+	for len(preds) > 0 {
+		best, bestScore := 0, predScore(preds[0], bound)
+		for i := 1; i < len(preds); i++ {
+			if s := predScore(preds[i], bound); scoreLess(bestScore, s) {
+				best, bestScore = i, s
+			}
+		}
+		takePred(best)
 	}
 	// 2. Positive equations, greedily picking one with a fully bound side.
 	var eqs []ast.Eq
@@ -175,11 +230,65 @@ func compileWith(r ast.Rule, preBound []ast.Var) (*plan, error) {
 	return p, nil
 }
 
+// compileVariants populates p.variants and p.negVariants: one hoisted
+// plan per positive body predicate (the plan maintenance runs when the
+// delta sits on that atom's relation) and one pre-bound plan per
+// negated body predicate (run per changed tuple of the negated
+// relation, with the atom matched against the tuple first). Compiled
+// once at Compile time on base plans; rederive plans never need them.
+// Variant compilation cannot fail on a rule the base compile accepted
+// — hoisting only changes join order, and pre-binding only adds bound
+// variables — but errors are propagated defensively.
+func (p *plan) compileVariants() error {
+	negSeen := 0
+	for _, l := range p.rule.Body {
+		pr, ok := l.Atom.(ast.Pred)
+		if !ok {
+			continue
+		}
+		if l.Neg {
+			var vars []ast.Var
+			for _, a := range pr.Args {
+				vars = append(vars, a.Vars()...)
+			}
+			v, err := compilePlan(p.rule, vars, -1)
+			if err != nil {
+				return err
+			}
+			// Negated literals keep their written order in every plan, so
+			// the negSeen-th stepNegPred of the variant is this atom.
+			stepIdx, seen := -1, 0
+			for i, s := range v.steps {
+				if s.kind == stepNegPred {
+					if seen == negSeen {
+						stepIdx = i
+						break
+					}
+					seen++
+				}
+			}
+			if stepIdx < 0 {
+				return fmt.Errorf("eval: internal: negated atom %s lost in variant of %s", pr, p.rule)
+			}
+			p.negVariants = append(p.negVariants, negVariant{pred: pr, p: v, step: stepIdx})
+			negSeen++
+		} else {
+			v, err := compilePlan(p.rule, nil, len(p.variants))
+			if err != nil {
+				return err
+			}
+			p.variants = append(p.variants, v)
+		}
+	}
+	return nil
+}
+
 // predScore ranks a candidate next join step under the current bound
 // set: (fully bound argument positions, longest ground argument term
-// prefix, bound variable occurrences).
-func predScore(pr ast.Pred, bound map[ast.Var]bool) [3]int {
-	var s [3]int
+// prefix, longest ground argument term suffix, bound variable
+// occurrences).
+func predScore(pr ast.Pred, bound map[ast.Var]bool) [4]int {
+	var s [4]int
 	for _, a := range pr.Args {
 		if varsBound(a, bound) {
 			s[0]++
@@ -188,6 +297,9 @@ func predScore(pr ast.Pred, bound map[ast.Var]bool) [3]int {
 		if n := groundPrefixTerms(a, bound); n > s[1] {
 			s[1] = n
 		}
+		if n := groundSuffixTerms(a, bound); n > s[2] {
+			s[2] = n
+		}
 	}
 	occ := map[ast.Var]int{}
 	for _, a := range pr.Args {
@@ -195,13 +307,13 @@ func predScore(pr ast.Pred, bound map[ast.Var]bool) [3]int {
 	}
 	for v, n := range occ {
 		if bound[v] {
-			s[2] += n
+			s[3] += n
 		}
 	}
 	return s
 }
 
-func scoreLess(a, b [3]int) bool {
+func scoreLess(a, b [4]int) bool {
 	for i := range a {
 		if a[i] != b[i] {
 			return a[i] < b[i]
@@ -212,9 +324,12 @@ func scoreLess(a, b [3]int) bool {
 
 // annotate records which argument positions of a predicate step are
 // ground (index-probeable) under the bound set in force when the step
-// runs.
+// runs, and the best ground prefix or suffix of a not fully bound
+// argument. At most one of prefix/suffix is kept — the runtime probes
+// a single secondary index per step — preferring the longer one
+// (prefix on ties, matching the historical behavior).
 func annotate(st *step, bound map[ast.Var]bool) {
-	st.prefixCol = -1
+	st.prefixCol, st.suffixCol = -1, -1
 	for k, a := range st.pred.Args {
 		if varsBound(a, bound) {
 			st.boundCols = append(st.boundCols, k)
@@ -225,6 +340,14 @@ func annotate(st *step, bound map[ast.Var]bool) {
 		if n := groundPrefixTerms(a, bound); n > st.prefixLen {
 			st.prefixCol, st.prefixLen = k, n
 		}
+		if n := groundSuffixTerms(a, bound); n > st.suffixLen {
+			st.suffixCol, st.suffixLen = k, n
+		}
+	}
+	if st.suffixLen > st.prefixLen {
+		st.prefixCol, st.prefixLen = -1, 0
+	} else {
+		st.suffixCol, st.suffixLen = -1, 0
 	}
 }
 
@@ -234,24 +357,38 @@ func annotate(st *step, bound map[ast.Var]bool) {
 func groundPrefixTerms(e ast.Expr, bound map[ast.Var]bool) int {
 	n := 0
 	for _, t := range e {
-		switch x := t.(type) {
-		case ast.Const:
-			n++
-			continue
-		case ast.VarT:
-			if bound[x.V] {
-				n++
-				continue
-			}
-		case ast.Pack:
-			if varsBound(x.E, bound) {
-				n++
-				continue
-			}
+		if !termGround(t, bound) {
+			return n
 		}
-		return n
+		n++
 	}
 	return n
+}
+
+// groundSuffixTerms counts the trailing terms of the expression whose
+// variables are all bound.
+func groundSuffixTerms(e ast.Expr, bound map[ast.Var]bool) int {
+	n := 0
+	for i := len(e) - 1; i >= 0; i-- {
+		if !termGround(e[i], bound) {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// termGround reports whether one term is ground under the bound set.
+func termGround(t ast.Term, bound map[ast.Var]bool) bool {
+	switch x := t.(type) {
+	case ast.Const:
+		return true
+	case ast.VarT:
+		return bound[x.V]
+	case ast.Pack:
+		return varsBound(x.E, bound)
+	}
+	return false
 }
 
 func varsBound(e ast.Expr, bound map[ast.Var]bool) bool {
@@ -265,7 +402,9 @@ func varsBound(e ast.Expr, bound map[ast.Var]bool) bool {
 
 // describe renders the compiled join plan of the rule: the chosen
 // execution order with, per predicate step, the access path the
-// indexed evaluator uses.
+// indexed evaluator uses. On a hoisted (delta-variant) plan the first
+// predicate step prints [delta]: it iterates a change window, not the
+// relation.
 func (p *plan) describe() string {
 	var b strings.Builder
 	b.WriteString(p.rule.Head.String())
@@ -278,12 +417,16 @@ func (p *plan) describe() string {
 		case stepPred:
 			b.WriteString(s.pred.String())
 			switch {
+			case p.hoisted && i == 0:
+				b.WriteString(" [delta]")
 			case len(s.boundCols) == len(s.pred.Args) && len(s.pred.Args) > 0:
 				fmt.Fprintf(&b, " [index%v ground]", s.boundCols)
 			case len(s.boundCols) > 0:
 				fmt.Fprintf(&b, " [index%v]", s.boundCols)
 			case s.prefixCol >= 0:
 				fmt.Fprintf(&b, " [prefix col=%d len=%d]", s.prefixCol, s.prefixLen)
+			case s.suffixCol >= 0:
+				fmt.Fprintf(&b, " [suffix col=%d len=%d]", s.suffixCol, s.suffixLen)
 			default:
 				b.WriteString(" [scan]")
 			}

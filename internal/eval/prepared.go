@@ -93,6 +93,14 @@ func Compile(prog ast.Program) (*Prepared, error) {
 			if err != nil {
 				return nil, fmt.Errorf("stratum %d: %w", si+1, err)
 			}
+			// Delta-hoisted variants: one plan per positive body atom
+			// (run when the delta sits on that atom's relation) and one
+			// pre-bound plan per negated atom, compiled once here so
+			// maintenance never plans at runtime. Whether they are used
+			// is an engine-level decision (eval.DeltaVariants).
+			if err := pl.compileVariants(); err != nil {
+				return nil, fmt.Errorf("stratum %d (delta variants): %w", si+1, err)
+			}
 			var headVars []ast.Var
 			for _, a := range r.Head.Args {
 				headVars = append(headVars, a.Vars()...)
@@ -167,12 +175,23 @@ func (p *Prepared) IsIDB(name string) bool { return p.idb[name] }
 
 // Explain returns, in rule order, a one-line description of each
 // compiled join plan: the chosen predicate order and, per predicate,
-// the access path (exact index, ground-prefix index, or scan).
+// the access path (exact index, ground-prefix index, ground-suffix
+// index, or scan). After each rule's base plan come its delta-hoisted
+// variants, indented: one "Δname:" line per positive body atom (the
+// plan maintenance runs when the delta sits on that relation, with the
+// delta atom first) and one "Δ!name:" line per negated atom (run with
+// the atom's variables pre-bound against each changed tuple).
 func (p *Prepared) Explain() []string {
 	var out []string
 	for _, ps := range p.strata {
 		for _, pl := range ps.plans {
 			out = append(out, pl.describe())
+			for _, v := range pl.variants {
+				out = append(out, fmt.Sprintf("  Δ%s: %s", v.steps[0].pred.Name, v.describe()))
+			}
+			for _, nv := range pl.negVariants {
+				out = append(out, fmt.Sprintf("  Δ!%s: %s", nv.pred.Name, nv.p.describe()))
+			}
 		}
 	}
 	return out

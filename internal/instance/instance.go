@@ -75,8 +75,9 @@ func (t Tuple) String() string {
 // Membership is maintained through a built-in full-tuple hash index:
 // each tuple's structural hash is computed once on Add and reused by
 // Contains, Equal and Clone. Secondary indexes over column projections
-// (Index) and column prefixes (PrefixLookup) are built lazily on first
-// lookup and caught up after later Adds, so they are never stale.
+// (Index), column prefixes (PrefixLookup) and column suffixes
+// (SuffixLookup) are built lazily on first lookup and caught up after
+// later Adds, so they are never stale.
 //
 // Deletion is tombstone-based: Delete marks the tuple's position dead
 // and removes it from the membership index, but the position itself
@@ -128,12 +129,13 @@ type Relation struct {
 	// concurrently.
 	frozen atomic.Bool
 
-	// mu guards creation of secondary indexes (the two maps below) and
-	// the build step that absorbs pending tuples into one; see the
+	// mu guards creation of secondary indexes (the maps below) and the
+	// build step that absorbs pending tuples into one; see the
 	// concurrency contract above.
 	mu       sync.RWMutex
 	indexes  map[string]*Index
 	prefixes map[prefixKey]*prefixIndex
+	suffixes map[prefixKey]*prefixIndex
 }
 
 // NewRelation creates an empty relation of the given arity.
@@ -269,7 +271,7 @@ func (r *Relation) Compact() {
 	r.tuples, r.hashes, r.buckets = tuples, hashes, buckets
 	r.dead, r.tombs = nil, 0
 	r.mu.Lock()
-	r.indexes, r.prefixes = nil, nil
+	r.indexes, r.prefixes, r.suffixes = nil, nil, nil
 	r.mu.Unlock()
 }
 
@@ -704,11 +706,86 @@ func (r *Relation) prefixLookup(col int, prefix value.Path, includeDead bool) []
 	})
 }
 
+// catchUpSuffix absorbs pending tuples into one suffix index, under
+// the same synchronization scheme as Index.CatchUp. The key's n counts
+// the last n values of column key.col.
+func (r *Relation) catchUpSuffix(ix *prefixIndex, key prefixKey) {
+	n := len(r.tuples)
+	if int(ix.upto.Load()) >= n {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := int(ix.upto.Load()); i < n; i++ {
+		p := r.tuples[i][key.col]
+		if len(p) < key.n {
+			continue
+		}
+		h := p[len(p)-key.n:].Hash(value.HashSeed)
+		ix.m[h] = append(ix.m[h], i)
+	}
+	ix.upto.Store(int64(n))
+}
+
+// SuffixLookup returns the tuple-log positions (ascending) of the live
+// tuples whose column col ends with the given non-empty suffix. A
+// separate index per (col, len(suffix)) is built lazily beside the
+// prefix indexes and caught up after Adds, with the same concurrency
+// guarantees as PrefixLookup.
+//
+// This is the probe the evaluator uses when a join argument like
+// $rest.@y has its trailing terms ground under the current valuation
+// (the paper's bound-suffix patterns, §2.2): any matching tuple's
+// column must end with exactly that suffix.
+func (r *Relation) SuffixLookup(col int, suffix value.Path) []int {
+	return r.suffixLookup(col, suffix, false)
+}
+
+// SuffixLookupAll is SuffixLookup including tombstoned positions; see
+// Index.LookupAll for when the DRed maintainer needs that.
+func (r *Relation) SuffixLookupAll(col int, suffix value.Path) []int {
+	return r.suffixLookup(col, suffix, true)
+}
+
+func (r *Relation) suffixLookup(col int, suffix value.Path, includeDead bool) []int {
+	if col < 0 || col >= r.Arity {
+		panic(fmt.Sprintf("instance: suffix column %d out of range for arity-%d relation", col, r.Arity))
+	}
+	if len(suffix) == 0 {
+		panic("instance: empty suffix probe (caller should scan)")
+	}
+	key := prefixKey{col, len(suffix)}
+	r.mu.RLock()
+	ix := r.suffixes[key]
+	r.mu.RUnlock()
+	if ix == nil {
+		r.mu.Lock()
+		ix = r.suffixes[key]
+		if ix == nil {
+			ix = &prefixIndex{m: map[uint64][]int{}}
+			if r.suffixes == nil {
+				r.suffixes = map[prefixKey]*prefixIndex{}
+			}
+			r.suffixes[key] = ix
+		}
+		r.mu.Unlock()
+	}
+	r.catchUpSuffix(ix, key)
+	return verifyBucket(ix.m[suffix.Hash(value.HashSeed)], func(pos int) bool {
+		if !includeDead && !r.Live(pos) {
+			return false
+		}
+		p := r.tuples[pos][col]
+		return len(p) >= len(suffix) && p[len(p)-len(suffix):].Equal(suffix)
+	})
+}
+
 // CatchUpIndexes absorbs pending tuples into every secondary index
-// built so far (exact and prefix). The parallel evaluator calls it on
-// each relation a round will read before fanning out, so worker probes
-// of already-known index shapes run lock-free; an index shape first
-// probed mid-round still builds safely under the internal lock.
+// built so far (exact, prefix and suffix). The parallel evaluator
+// calls it on each relation a round will read before fanning out, so
+// worker probes of already-known index shapes run lock-free; an index
+// shape first probed mid-round still builds safely under the internal
+// lock.
 func (r *Relation) CatchUpIndexes() {
 	r.mu.RLock()
 	exact := make([]*Index, 0, len(r.indexes))
@@ -723,12 +800,19 @@ func (r *Relation) CatchUpIndexes() {
 	for key, ix := range r.prefixes {
 		pref = append(pref, keyedPrefix{key, ix})
 	}
+	suff := make([]keyedPrefix, 0, len(r.suffixes))
+	for key, ix := range r.suffixes {
+		suff = append(suff, keyedPrefix{key, ix})
+	}
 	r.mu.RUnlock()
 	for _, ix := range exact {
 		ix.CatchUp()
 	}
 	for _, p := range pref {
 		r.catchUpPrefix(p.ix, p.key)
+	}
+	for _, s := range suff {
+		r.catchUpSuffix(s.ix, s.key)
 	}
 }
 

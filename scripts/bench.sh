@@ -41,4 +41,20 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
 END { printf "\n  ]\n}\n" }
 ' "$raw" > "$out"
 
+# The serving trajectory is the point of this archive: a rename or a
+# filter typo that silently drops the incremental series must fail CI,
+# not produce a hollow JSON. Every series named here has to be present.
+for series in \
+    'BenchmarkIncrementalAssert/incremental/k=1' \
+    'BenchmarkIncrementalAssert/incremental-novariants/k=1' \
+    'BenchmarkIncrementalAssert/fromscratch/k=1' \
+    'BenchmarkIncrementalRetract/retract/k=1' \
+    'BenchmarkIncrementalRetract/retract-novariants/k=1'
+do
+    if ! grep -q "\"$series\"" "$out"; then
+        echo "bench.sh: series $series missing from $out" >&2
+        exit 1
+    fi
+done
+
 echo "wrote $out"

@@ -142,6 +142,12 @@ type (
 	RetractStats = eval.RetractStats
 	// EngineStats is a point-in-time summary of an Engine.
 	EngineStats = eval.EngineStats
+	// PlanStats counts plan executions during maintenance: how often a
+	// delta-hoisted plan variant ran instead of a base plan, and how
+	// the non-delta join steps were served (exact index probe, ground
+	// prefix probe, ground suffix probe, or full scan). Embedded in
+	// AssertStats, RetractStats and EngineStats.
+	PlanStats = eval.PlanStats
 )
 
 // Compile analyzes and plans a program once, returning a reusable
@@ -213,7 +219,8 @@ func Holds(p Program, edb *Instance, output string, limits Limits) (bool, error)
 // ExplainJoins returns, rule by rule, the join plan the indexed
 // evaluator chooses for the program: predicate execution order and,
 // per predicate, the access path (exact index, ground-prefix index,
-// or scan).
+// ground-suffix index, or scan). After each rule's base plan come its
+// delta-hoisted maintenance variants, indented.
 func ExplainJoins(p Program) ([]string, error) { return eval.Explain(p) }
 
 // Classification (§3, §6).
