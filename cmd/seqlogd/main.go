@@ -7,12 +7,22 @@
 //
 //	seqlogd [-program prog.sdl] [-data facts.sdl] [-workers N] [-max-facts N]
 //	seqlogd -listen :7690 ...
+//	seqlogd -wal-dir ./wal -sync always -checkpoint-every 4096 ...
 //
 // Without -listen the protocol runs on stdin/stdout (handy under a
 // pipe or an editor); with -listen every TCP connection speaks the
 // same protocol against one shared engine — asserts serialize through
 // the engine, queries read copy-on-write snapshots and never block
 // behind them.
+//
+// With -wal-dir the daemon is durable: every accepted load, assert
+// and retract is appended to a write-ahead log before it is applied,
+// checkpoints bound replay time, and startup recovers the pre-crash
+// state (see docs/durability.md). If the log itself fails mid-flight
+// the daemon degrades to read-only — writes are refused with
+// "err readonly: ...", queries keep serving the last durable state.
+// SIGINT/SIGTERM shut down gracefully: stop accepting, drain
+// sessions, cut a final checkpoint, close the log.
 //
 // Protocol (one command per line; responses end with "ok ..." or
 // "err ..."):
@@ -44,14 +54,17 @@ import (
 	"io"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"seqlog/internal/analyze"
 	"seqlog/internal/eval"
 	"seqlog/internal/instance"
 	"seqlog/internal/parser"
+	"seqlog/internal/wal"
 )
 
 func main() {
@@ -61,11 +74,56 @@ func main() {
 		maxFacts    = flag.Int("max-facts", eval.DefaultLimits.MaxFacts, "termination guard: maximum materialized derived facts")
 		workers     = flag.Int("workers", 1, "fixpoint workers per maintenance round (1 = sequential, -1 = all CPUs)")
 		listen      = flag.String("listen", "", "serve the protocol on this TCP address instead of stdin/stdout")
+		walDir      = flag.String("wal-dir", "", "directory for the write-ahead log and checkpoints (empty: no durability)")
+		syncMode    = flag.String("sync", "always", "WAL fsync policy: always, interval, never")
+		syncEvery   = flag.Duration("sync-interval", 100*time.Millisecond, "maximum sync staleness under -sync interval")
+		ckptEvery   = flag.Int("checkpoint-every", 4096, "WAL records between checkpoints (0 disables the record trigger)")
+		idleTimeout = flag.Duration("idle-timeout", 0, "close sessions idle longer than this (0: never)")
 	)
 	flag.Parse()
 
-	srv := &server{limits: eval.Limits{MaxFacts: *maxFacts, Parallelism: *workers}}
-	if *programFile != "" {
+	srv := &server{
+		limits:      eval.Limits{MaxFacts: *maxFacts, Parallelism: *workers},
+		idleTimeout: *idleTimeout,
+	}
+
+	recovered := false
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*syncMode)
+		if err != nil {
+			fail(err)
+		}
+		records := *ckptEvery
+		if records == 0 {
+			records = -1
+		}
+		h := &walHandler{rep: eval.Replayer{Limits: srv.limits}}
+		l, err := wal.Open(*walDir, wal.Options{
+			Sync:              policy,
+			SyncEvery:         *syncEvery,
+			CheckpointRecords: records,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "seqlogd: "+format+"\n", args...)
+			},
+		}, h)
+		if err != nil {
+			fail(err)
+		}
+		srv.wal = l
+		rs := l.Recovery()
+		srv.recovered = rs.RecordsReplayed
+		if h.rep.Engine() != nil {
+			srv.installRecovered(&h.rep)
+			fmt.Fprintf(os.Stderr, "seqlogd: recovered %d WAL records (checkpoint generation %d)\n",
+				rs.RecordsReplayed, rs.CheckpointGen)
+			if *programFile != "" {
+				fmt.Fprintln(os.Stderr, "seqlogd: WAL recovery restored a program; ignoring -program/-data")
+			}
+			recovered = true
+		}
+	}
+
+	if !recovered && *programFile != "" {
 		src, err := os.ReadFile(*programFile)
 		if err != nil {
 			fail(err)
@@ -84,12 +142,33 @@ func main() {
 		if err := srv.load(string(src), edb); err != nil {
 			fail(fmt.Errorf("%s: %w", *programFile, err))
 		}
-	} else if *dataFile != "" {
+		if *dataFile != "" {
+			// The OpLoad record carries only the program; the initial EDB
+			// from -data lives in a checkpoint, cut right away so recovery
+			// sees it.
+			srv.wmu.Lock()
+			srv.maybeCheckpoint(true)
+			srv.wmu.Unlock()
+		}
+	} else if !recovered && *dataFile != "" {
 		fail(fmt.Errorf("-data requires -program (the engine is created when the program loads)"))
 	}
 
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	if *listen == "" {
-		srv.serve(os.Stdin, os.Stdout)
+		done := make(chan struct{})
+		go func() {
+			srv.serve(os.Stdin, os.Stdout)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "seqlogd: %v: shutting down\n", s)
+		}
+		srv.finalize()
 		return
 	}
 	ln, err := net.Listen("tcp", *listen)
@@ -97,10 +176,23 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintln(os.Stderr, "seqlogd: listening on", ln.Addr())
-	if err := acceptLoop(ln, srv, time.Sleep); err != nil {
-		fail(err)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "seqlogd: %v: draining sessions and shutting down\n", s)
+		ln.Close()
+	}()
+	loopErr := acceptLoop(ln, srv, time.Sleep)
+	srv.drain(drainTimeout)
+	srv.finalize()
+	if loopErr != nil {
+		fail(loopErr)
 	}
 }
+
+// drainTimeout is the grace period for active sessions on shutdown;
+// past it their connections are force-closed so a stuck client cannot
+// block the final checkpoint.
+const drainTimeout = 5 * time.Second
 
 // acceptMaxBackoff caps the exponential backoff between retries of a
 // failing Accept.
@@ -135,7 +227,11 @@ func acceptLoop(ln net.Listener, srv *server, sleep func(time.Duration)) error {
 			continue
 		}
 		backoff = 0
+		srv.sessions.Add(1)
+		srv.track(conn)
 		go func() {
+			defer srv.sessions.Done()
+			defer srv.untrack(conn)
 			defer conn.Close()
 			srv.serve(conn, conn)
 		}()
@@ -152,17 +248,230 @@ func isTemporary(ne net.Error) bool {
 }
 
 // server holds the one engine every connection shares. The engine
-// serializes its own writers and serves reads from snapshots; the
-// server's mutex only guards swapping the engine on load.
+// serializes its own writers and serves reads from snapshots; mu
+// guards swapping the engine on load and the session bookkeeping,
+// while wmu serializes the write verbs end to end — WAL append order
+// is engine apply order, which is what makes replay faithful. Lock
+// order is wmu before mu, never the reverse.
 type server struct {
-	limits eval.Limits
+	limits      eval.Limits
+	idleTimeout time.Duration
 
 	mu     sync.Mutex
 	engine *eval.Engine
+	// src is the source text of the served program — the WAL's current
+	// load epoch, written into every checkpoint.
+	src string
 	// warnings holds the analyzer warnings of the served program;
 	// rejected counts loads refused for error-severity diagnostics.
 	warnings []analyze.Diagnostic
 	rejected int
+	// idleTimeouts counts sessions closed by the idle read deadline.
+	idleTimeouts int
+	conns        map[net.Conn]struct{}
+
+	wmu sync.Mutex
+	wal *wal.Log
+	// readonly is the sticky degradation error: once the WAL fails,
+	// every write is refused with it while queries keep serving.
+	readonly error
+	// recovered is the number of WAL records replayed at startup.
+	recovered int
+
+	sessions sync.WaitGroup
+}
+
+// walHandler adapts WAL recovery to the engine replay entry point.
+type walHandler struct{ rep eval.Replayer }
+
+func (h *walHandler) Restore(program string, edb *instance.Instance) error {
+	return h.rep.Restore(program, edb)
+}
+
+func (h *walHandler) Replay(rec wal.Record) error {
+	switch rec.Op {
+	case wal.OpLoad:
+		return h.rep.Load(rec.Program)
+	case wal.OpAssert:
+		return h.rep.Assert(rec.Batch)
+	case wal.OpRetract:
+		return h.rep.Retract(rec.Batch)
+	}
+	return fmt.Errorf("unknown WAL op %s", rec.Op)
+}
+
+// installRecovered adopts the replayer's engine as the served state.
+func (s *server) installRecovered(rep *eval.Replayer) {
+	var warns []analyze.Diagnostic
+	for _, d := range rep.Prepared().Diagnostics() {
+		if d.Severity == analyze.Warning {
+			warns = append(warns, d)
+		}
+	}
+	s.mu.Lock()
+	s.engine, s.src, s.warnings = rep.Engine(), rep.Source(), warns
+	s.mu.Unlock()
+}
+
+func (s *server) track(c net.Conn) {
+	s.mu.Lock()
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// drain waits for active sessions to finish, force-closing their
+// connections when the grace period runs out.
+func (s *server) drain(timeout time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		s.sessions.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		fmt.Fprintln(os.Stderr, "seqlogd: drain timeout, closing active sessions")
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// finalize cuts a final checkpoint (when this session logged anything)
+// and closes the WAL, so the next start recovers from the snapshot
+// instead of replaying this session's records.
+func (s *server) finalize() {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.wal == nil {
+		return
+	}
+	// A checkpoint pays off whenever the next start would otherwise
+	// replay records — ones appended this session or ones recovery
+	// already replayed once.
+	if (s.wal.Records() > 0 || s.recovered > 0) && s.readonly == nil {
+		s.maybeCheckpoint(true)
+	}
+	if err := s.wal.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "seqlogd: closing WAL: %v\n", err)
+	}
+}
+
+// logRecord appends rec to the WAL (a no-op without -wal-dir). The
+// first append failure degrades the daemon to read-only: the record's
+// durability can no longer be promised, so this write is refused and
+// every later one fails fast, while queries keep serving the last
+// durable state. Callers hold wmu.
+func (s *server) logRecord(rec wal.Record) error {
+	if s.wal == nil {
+		return nil
+	}
+	if s.readonly != nil {
+		return s.readonly
+	}
+	if err := s.wal.Append(rec); err != nil {
+		s.readonly = fmt.Errorf("readonly: write-ahead log failed, serving reads only: %v", err)
+		fmt.Fprintf(os.Stderr, "seqlogd: WAL append failed, degrading to read-only: %v\n", err)
+		return s.readonly
+	}
+	return nil
+}
+
+// maybeCheckpoint cuts a checkpoint when the WAL's trigger fires (or
+// force is set): the served program plus the engine's base facts,
+// after which the replayed WAL prefix is dropped. A failed checkpoint
+// is logged and non-fatal — the WAL alone keeps the state
+// recoverable. Callers hold wmu.
+func (s *server) maybeCheckpoint(force bool) {
+	if s.wal == nil || s.readonly != nil || (!force && !s.wal.ShouldCheckpoint()) {
+		return
+	}
+	s.mu.Lock()
+	e, src := s.engine, s.src
+	s.mu.Unlock()
+	if e == nil {
+		return
+	}
+	edb, err := e.EDBSnapshot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqlogd: checkpoint skipped: %v\n", err)
+		return
+	}
+	if err := s.wal.Checkpoint(src, edb); err != nil {
+		fmt.Fprintf(os.Stderr, "seqlogd: checkpoint failed: %v\n", err)
+	}
+}
+
+// assert logs the batch and applies it to the engine, WAL first: a
+// batch the log cannot make durable never reaches the engine.
+func (s *server) assert(delta *instance.Instance) (eval.AssertStats, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	e, err := s.current()
+	if err != nil {
+		return eval.AssertStats{}, err
+	}
+	if err := e.Err(); err != nil {
+		// A broken engine rejects the batch itself; don't log a record
+		// replay could never apply.
+		return eval.AssertStats{}, err
+	}
+	if err := s.logRecord(wal.Record{Op: wal.OpAssert, Batch: delta}); err != nil {
+		return eval.AssertStats{}, err
+	}
+	st, err := e.Assert(delta)
+	s.maybeCheckpoint(false)
+	return st, err
+}
+
+// retract is assert's mirror image on the delete/rederive path.
+func (s *server) retract(delta *instance.Instance) (eval.RetractStats, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	e, err := s.current()
+	if err != nil {
+		return eval.RetractStats{}, err
+	}
+	if err := e.Err(); err != nil {
+		return eval.RetractStats{}, err
+	}
+	if err := s.logRecord(wal.Record{Op: wal.OpRetract, Batch: delta}); err != nil {
+		return eval.RetractStats{}, err
+	}
+	st, err := e.Retract(delta)
+	s.maybeCheckpoint(false)
+	return st, err
+}
+
+// durabilityCounters renders the WAL/session counters appended to the
+// stats reply (zeros without -wal-dir).
+func (s *server) durabilityCounters() string {
+	s.wmu.Lock()
+	var records, checkpoints int
+	var bytes int64
+	if s.wal != nil {
+		records, bytes, checkpoints = s.wal.Records(), s.wal.Bytes(), s.wal.Checkpoints()
+	}
+	ro := s.readonly != nil
+	recovered := s.recovered
+	s.wmu.Unlock()
+	s.mu.Lock()
+	idle := s.idleTimeouts
+	s.mu.Unlock()
+	return fmt.Sprintf(" wal_records=%d wal_bytes=%d checkpoints=%d recovered_records=%d readonly=%t idle_timeouts=%d",
+		records, bytes, checkpoints, recovered, ro, idle)
 }
 
 // load compiles src and replaces the served engine with a fresh one
@@ -170,6 +479,13 @@ type server struct {
 // loading is a reset, not a migration. A program the static analyzer
 // rejects returns an *analyze.DiagError (wrapped or direct) and leaves
 // the previous engine serving; the rejection is counted in stats.
+//
+// Under -wal-dir a successful compile is logged as an OpLoad record —
+// the start of a new load epoch — before the engine swap; replaying it
+// resets to an empty EDB, exactly like the protocol's load verb. (The
+// startup path with -data additionally cuts a checkpoint, since the
+// record carries only the program.) A load the WAL refuses leaves the
+// previous engine serving.
 func (s *server) load(src string, edb *instance.Instance) error {
 	// Parse without validating: safety and stratification problems
 	// should surface as Compile's structured diagnostics, not as a
@@ -198,10 +514,17 @@ func (s *server) load(src string, edb *instance.Instance) error {
 			warns = append(warns, d)
 		}
 	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := s.logRecord(wal.Record{Op: wal.OpLoad, Program: src}); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	s.engine = e
+	s.src = src
 	s.warnings = warns
 	s.mu.Unlock()
+	s.maybeCheckpoint(false)
 	return nil
 }
 
@@ -241,7 +564,17 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 		fmt.Fprintf(out, format+"\n", args...)
 		out.Flush()
 	}
-	for in.Scan() {
+	// Idle read deadline: when the transport supports deadlines (TCP,
+	// net.Pipe) and -idle-timeout is set, every read re-arms it; a
+	// session silent past the deadline is closed cleanly and counted.
+	dl, _ := r.(interface{ SetReadDeadline(time.Time) error })
+	scan := func() bool {
+		if dl != nil && s.idleTimeout > 0 {
+			dl.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		return in.Scan()
+	}
+	for scan() {
 		line := strings.TrimSpace(in.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -252,7 +585,7 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 		case "load":
 			var prog strings.Builder
 			terminated := false
-			for in.Scan() {
+			for scan() {
 				l := in.Text()
 				if strings.TrimSpace(l) == "." {
 					terminated = true
@@ -271,6 +604,9 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				// protocol commands — so close the session; plain EOF just
 				// lets the outer loop wind down.
 				if err := in.Err(); err != nil {
+					if errors.Is(err, os.ErrDeadlineExceeded) {
+						s.bumpIdleTimeouts()
+					}
 					reply("err load: %v (program discarded, previous engine kept)", err)
 					return
 				}
@@ -295,17 +631,12 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 			}
 			reply("ok loaded warnings=%d", len(warns))
 		case "assert":
-			e, err := s.current()
-			if err != nil {
-				reply("err %v", err)
-				continue
-			}
 			delta, err := parser.ParseInstance(rest)
 			if err != nil {
 				reply("err %v", err)
 				continue
 			}
-			stats, err := e.Assert(delta)
+			stats, err := s.assert(delta)
 			if err != nil {
 				reply("err %v", err)
 				continue
@@ -314,17 +645,12 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				stats.Asserted, stats.Derived, stats.Overdeleted, stats.Rederived,
 				stats.StrataSkipped, stats.StrataIncremental, planCounters(stats.Plans))
 		case "retract":
-			e, err := s.current()
-			if err != nil {
-				reply("err %v", err)
-				continue
-			}
 			delta, err := parser.ParseInstance(rest)
 			if err != nil {
 				reply("err %v", err)
 				continue
 			}
-			stats, err := e.Retract(delta)
+			stats, err := s.retract(delta)
 			if err != nil {
 				reply("err %v", err)
 				continue
@@ -374,9 +700,10 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				continue
 			}
 			st := e.Stats()
-			reply("ok facts=%d derived=%d asserts=%d retracts=%d warnings=%d rejected_loads=%d delta_variants=%t%s",
+			reply("ok facts=%d derived=%d asserts=%d retracts=%d warnings=%d rejected_loads=%d delta_variants=%t%s%s",
 				st.Facts, st.Derived, st.Asserts, st.Retracts,
-				len(s.loadWarnings()), s.rejectedLoads(), st.DeltaVariants, planCounters(st.Plans))
+				len(s.loadWarnings()), s.rejectedLoads(), st.DeltaVariants, planCounters(st.Plans),
+				s.durabilityCounters())
 		case "explain":
 			e, err := s.current()
 			if err != nil {
@@ -397,8 +724,19 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 	// A scanner failure (e.g. a line beyond the 1 MB cap) must not kill
 	// the session silently mid-protocol: tell the client before closing.
 	if err := in.Err(); err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			s.bumpIdleTimeouts()
+			reply("err idle timeout: closing session")
+			return
+		}
 		reply("err %v", err)
 	}
+}
+
+func (s *server) bumpIdleTimeouts() {
+	s.mu.Lock()
+	s.idleTimeouts++
+	s.mu.Unlock()
 }
 
 // planCounters renders the plan-execution counters appended to

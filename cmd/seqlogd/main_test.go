@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"io"
 	"net"
 	"strings"
@@ -11,6 +12,8 @@ import (
 	"seqlog/internal/eval"
 	"seqlog/internal/instance"
 	"seqlog/internal/value"
+	"seqlog/internal/wal"
+	"seqlog/internal/wal/walfault"
 )
 
 // run feeds a protocol script to a fresh server session and returns
@@ -360,5 +363,167 @@ quit
 	}
 	if strings.Contains(strings.Split(got, "ok loaded warnings=0")[0], "warnings=0") {
 		t.Fatalf("first load should have reported nonzero warnings:\n%s", got)
+	}
+}
+
+// newWALServer wires a server to a WAL directory the way main does:
+// recover, adopt the recovered engine if any, remember the replay
+// count for stats.
+func newWALServer(t *testing.T, dir string, opts wal.Options) *server {
+	t.Helper()
+	h := &walHandler{rep: eval.Replayer{}}
+	l, err := wal.Open(dir, opts, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{limits: eval.Limits{}, wal: l, recovered: l.Recovery().RecordsReplayed}
+	if h.rep.Engine() != nil {
+		srv.installRecovered(&h.rep)
+	}
+	t.Cleanup(func() { l.Close() })
+	return srv
+}
+
+// TestStatsDurabilityCounters: with a WAL attached, stats reports the
+// durability counters; the load and both asserts each cost a record.
+func TestStatsDurabilityCounters(t *testing.T) {
+	srv := newWALServer(t, t.TempDir(), wal.Options{Sync: wal.SyncNever})
+	got := run(t, srv, `load
+T(@x.@y) :- E(@x.@y).
+.
+assert E(a.b).
+assert E(b.c).
+stats
+`)
+	for _, want := range []string{
+		"wal_records=3 ", "checkpoints=0 ", "recovered_records=0 ",
+		"readonly=false", "idle_timeouts=0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("stats missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "wal_bytes=0 ") {
+		t.Fatalf("wal_bytes must count framed bytes:\n%s", got)
+	}
+}
+
+// TestServerRecoveryRoundTrip: a server's WAL replayed into a fresh
+// server reproduces the materialization; after a finalize (checkpoint
+// + close) the next recovery comes from the snapshot with no records.
+func TestServerRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	srv := newWALServer(t, dir, wal.Options{Sync: wal.SyncNever})
+	out := run(t, srv, "load\nT(@x.@y) :- E(@x.@y).\nT(@x.@z) :- T(@x.@y), E(@y.@z).\n.\nassert E(a.b). E(b.c).\nretract E(b.c).\nassert E(b.d).\n")
+	if strings.Contains(out, "err") {
+		t.Fatalf("setup: %s", out)
+	}
+	if err := srv.wal.Close(); err != nil { // crash: no final checkpoint
+		t.Fatal(err)
+	}
+
+	srv2 := newWALServer(t, dir, wal.Options{})
+	got := run(t, srv2, "query T\nstats\n")
+	for _, want := range []string{"T(a.b).\nT(a.d).\nT(b.d).\nok n=3", "recovered_records=4 "} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("recovered server missing %q:\n%s", want, got)
+		}
+	}
+	srv2.finalize() // graceful path: checkpoint, then close
+
+	srv3 := newWALServer(t, dir, wal.Options{})
+	got = run(t, srv3, "query T\nstats\n")
+	for _, want := range []string{"ok n=3", "recovered_records=0 "} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("checkpoint-recovered server missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestReadonlyDegradation: when the WAL starts failing, writes are
+// refused with "err readonly: ..." and nothing reaches the engine,
+// but queries and stats keep serving the last durable state.
+func TestReadonlyDegradation(t *testing.T) {
+	var fw *walfault.Writer
+	srv := newWALServer(t, t.TempDir(), wal.Options{Sync: wal.SyncNever,
+		WrapWriter: func(w io.Writer) io.Writer {
+			fw = &walfault.Writer{W: w, FailAfter: -1}
+			return fw
+		}})
+	out := run(t, srv, "load\nS($x) :- R($x).\n.\nassert R(a).\n")
+	if strings.Contains(out, "err") {
+		t.Fatalf("setup: %s", out)
+	}
+	fw.FailAfter = fw.Written() // the disk dies here
+
+	got := run(t, srv, "assert R(b).\nretract R(a).\nquery S\nstats\n")
+	if n := strings.Count(got, "err readonly: "); n != 2 {
+		t.Fatalf("want 2 readonly refusals, got %d:\n%s", n, got)
+	}
+	for _, want := range []string{"S(a).\nok n=1", "readonly=true"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("degraded server missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestIdleTimeoutClosesSession: a session silent past -idle-timeout is
+// told why, closed, and counted; activity re-arms the deadline.
+func TestIdleTimeoutClosesSession(t *testing.T) {
+	srv := &server{limits: eval.Limits{}, idleTimeout: 100 * time.Millisecond}
+	client, served := net.Pipe()
+	defer client.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer served.Close()
+		srv.serve(served, served)
+	}()
+	rd := bufio.NewReader(client)
+	for i := 0; i < 3; i++ { // stay under the deadline: the session lives
+		time.Sleep(30 * time.Millisecond)
+		if _, err := client.Write([]byte("holds X\n")); err != nil {
+			t.Fatal(err)
+		}
+		if line, err := rd.ReadString('\n'); err != nil || !strings.Contains(line, "err no program loaded") {
+			t.Fatalf("reply %d: %q, %v", i, line, err)
+		}
+	}
+	line, err := rd.ReadString('\n') // now idle: the deadline fires
+	if err != nil || !strings.Contains(line, "err idle timeout") {
+		t.Fatalf("idle close: %q, %v", line, err)
+	}
+	<-done
+	srv.mu.Lock()
+	idle := srv.idleTimeouts
+	srv.mu.Unlock()
+	if idle != 1 {
+		t.Fatalf("idle_timeouts = %d, want 1", idle)
+	}
+}
+
+// TestDrainForceClosesStuckSessions: shutdown waits for sessions, and
+// past the grace period force-closes the stragglers so the final
+// checkpoint is never blocked by a silent client.
+func TestDrainForceClosesStuckSessions(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	client, served := net.Pipe()
+	defer client.Close()
+	ln := &flakyListener{conns: []net.Conn{served}}
+	done := make(chan error, 1)
+	go func() { done <- acceptLoop(ln, srv, time.Sleep) }()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	srv.drain(50 * time.Millisecond) // the client never speaks nor hangs up
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("drain returned before the grace period: %v", d)
+	}
+	srv.mu.Lock()
+	left := len(srv.conns)
+	srv.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d sessions still tracked after drain", left)
 	}
 }

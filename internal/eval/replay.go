@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"fmt"
+
+	"seqlog/internal/instance"
+	"seqlog/internal/parser"
+)
+
+// This file is the replay entry point of the durability layer
+// (internal/wal): recovery reconstructs an engine by re-running the
+// same deterministic maintenance that produced the state in the first
+// place. A checkpoint restores as "compile the program, seed the EDB,
+// run the initial fixpoint" (Restore), and every logged batch replays
+// through the engine's own Assert/Retract — there is no second
+// evaluation semantics to drift from, which is what makes recovered
+// state instance.Diff-identical to a from-scratch evaluation of the
+// accepted history.
+
+// Err returns the engine's sticky maintenance failure, or nil. A
+// non-nil error means a previous Assert/Retract left the
+// materialization partial: every evaluation and read call returns this
+// same error. The serving layer checks it before logging a write so a
+// doomed batch is not appended to the WAL first.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.broken
+}
+
+// EDBSnapshot returns an immutable copy-on-write snapshot holding the
+// engine's base facts only: every relation the program does not define
+// (the asserted/loaded EDB) plus the frozen seed relations of IDB
+// relations that had facts in the initial EDB. Feeding the result to
+// NewEngine with the same Prepared reconstructs the engine's exact
+// materialization — derived facts are a deterministic function of the
+// base facts, so they are recomputed, not serialized. This is what a
+// durability checkpoint stores.
+func (e *Engine) EDBSnapshot() (*instance.Instance, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.broken != nil {
+		return nil, e.broken
+	}
+	snap := e.inst.Snapshot()
+	out := instance.New()
+	for _, name := range snap.Names() {
+		if !e.prep.idb[name] {
+			out.Put(name, snap.Relation(name)) // frozen by the snapshot
+		}
+	}
+	for name, seed := range e.seeds {
+		out.Put(name, seed) // frozen since NewEngine
+	}
+	return out, nil
+}
+
+// Replayer rebuilds engine state from a durability log. It is the
+// Handler side of wal.Open wired to the evaluator: Restore applies the
+// newest valid checkpoint, Load/Assert/Retract apply logged records in
+// order. Zero value is ready; methods are not safe for concurrent use
+// (recovery is single-threaded by nature).
+type Replayer struct {
+	// Limits bound every engine the replay constructs, exactly as they
+	// bound the engine whose history is being replayed.
+	Limits Limits
+
+	src  string
+	prep *Prepared
+	eng  *Engine
+}
+
+// Restore compiles src and installs a fresh engine over edb (nil for
+// empty), replacing any previous engine. It is both the checkpoint
+// entry point (src + the checkpointed EDB) and the handler for logged
+// load records (empty EDB): loading is a reset, exactly as in the live
+// protocol.
+func (r *Replayer) Restore(src string, edb *instance.Instance) error {
+	prog, _, err := parser.ParseProgramForAnalysis(src)
+	if err != nil {
+		return fmt.Errorf("replay: parse: %w", err)
+	}
+	prep, err := Compile(prog)
+	if err != nil {
+		return fmt.Errorf("replay: compile: %w", err)
+	}
+	eng, err := NewEngine(prep, edb, r.Limits)
+	if err != nil {
+		return fmt.Errorf("replay: initial fixpoint: %w", err)
+	}
+	r.src, r.prep, r.eng = src, prep, eng
+	return nil
+}
+
+// Load replays a logged load record: a reset to a fresh engine with an
+// empty EDB.
+func (r *Replayer) Load(src string) error { return r.Restore(src, nil) }
+
+// Assert replays a logged assert batch through incremental
+// maintenance.
+func (r *Replayer) Assert(batch *instance.Instance) error {
+	if r.eng == nil {
+		return fmt.Errorf("replay: assert before any load record")
+	}
+	_, err := r.eng.Assert(batch)
+	return err
+}
+
+// Retract replays a logged retract batch through DRed maintenance.
+func (r *Replayer) Retract(batch *instance.Instance) error {
+	if r.eng == nil {
+		return fmt.Errorf("replay: retract before any load record")
+	}
+	_, err := r.eng.Retract(batch)
+	return err
+}
+
+// Engine returns the recovered engine, nil when no load or checkpoint
+// was replayed.
+func (r *Replayer) Engine() *Engine { return r.eng }
+
+// Prepared returns the compiled form of the recovered program, nil
+// when none was replayed.
+func (r *Replayer) Prepared() *Prepared { return r.prep }
+
+// Source returns the source text of the recovered program ("" when
+// none): the serving layer re-logs it into the next checkpoint.
+func (r *Replayer) Source() string { return r.src }

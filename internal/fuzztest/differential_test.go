@@ -1,9 +1,7 @@
-// Package fuzztest pins the incremental maintenance machinery against
-// the from-scratch semantics with a differential fuzzer: random
-// stratified programs (recursion, joins, negation, bound-suffix
-// patterns), random assert/retract interleavings, and after every step
-// three independently computed answers that must agree tuple for
-// tuple —
+// The differential maintenance fuzzer: random stratified programs
+// (see scenario.go), random assert/retract interleavings, and after
+// every step three independently computed answers that must agree
+// tuple for tuple —
 //
 //   - an engine maintained incrementally with delta-hoisted plan
 //     variants (eval.DeltaVariants on),
@@ -18,189 +16,30 @@
 package fuzztest
 
 import (
-	"fmt"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"seqlog/internal/eval"
 	"seqlog/internal/instance"
 	"seqlog/internal/parser"
-	"seqlog/internal/value"
 )
-
-// fact is one EDB tuple of a scenario; all generated relations are
-// unary relations of paths.
-type fact struct {
-	rel  string
-	path value.Path
-}
-
-func (f fact) String() string { return fmt.Sprintf("%s(%s).", f.rel, f.path) }
-
-// step is one operation of an interleaving: a batch of facts asserted
-// into or retracted from the EDB.
-type step struct {
-	retract bool
-	facts   []fact
-}
-
-func (s step) String() string {
-	verb := "assert"
-	if s.retract {
-		verb = "retract"
-	}
-	parts := make([]string, len(s.facts))
-	for i, f := range s.facts {
-		parts[i] = f.String()
-	}
-	return verb + " " + strings.Join(parts, " ")
-}
-
-// scenario is one generated fuzz case: a program, an interleaving of
-// assert/retract batches, and the engines' worker count.
-type scenario struct {
-	src     string
-	steps   []step
-	workers int
-}
-
-// genScenario draws a random scenario. The program is assembled from
-// templates chosen to cover the maintenance paths that matter:
-// recursion (the unary transitive closure, whose recursive atom is
-// served by a ground-suffix probe under deltas on the edge relation),
-// multi-way joins with exact and prefix probes, a bound-suffix join,
-// a ground-constant suffix pattern, and negation over earlier strata
-// (the overdelete/rederive path of Assert and the insertion path of
-// Retract). Rules are written without explicit strata so the parser
-// auto-stratifies; every rule is non-growing (atom variables only in
-// heads), so all fixpoints are finite.
-func genScenario(r *rand.Rand) scenario {
-	atoms := []string{"a", "b", "c", "d", "e"}[:3+r.Intn(3)]
-
-	var rules []string
-	rules = append(rules,
-		"C(@x.@y) :- E1(@x.@y).",
-		"C(@x.@z) :- C(@x.@y), E1(@y.@z).")
-	copyT := r.Float64() < 0.6
-	if copyT {
-		rules = append(rules, "D($x) :- E2($x).")
-	}
-	joinT := r.Float64() < 0.6
-	if joinT {
-		rules = append(rules, "J(@x.@z) :- E1(@x.@y), E2(@y.@z).")
-	}
-	if r.Float64() < 0.6 {
-		// Bound-suffix join: under a delta on E1, E2 is probed by the
-		// ground suffix @y; under a delta on E2, E1 likewise.
-		rules = append(rules, "S(@x.@y) :- E1(@x.@y), E2(@z.@y).")
-	}
-	if r.Float64() < 0.4 {
-		// Ground-constant suffix: the base plan itself uses the suffix
-		// index (no variable need be bound first).
-		rules = append(rules, "H(@x) :- E1(@x.a).")
-	}
-	if r.Float64() < 0.5 {
-		rules = append(rules, "N($x) :- E2($x), !C($x).")
-	}
-	if copyT && joinT && r.Float64() < 0.5 {
-		rules = append(rules, "M($x) :- D($x), !J($x).")
-	}
-
-	randFact := func() fact {
-		rel := "E1"
-		if r.Intn(2) == 1 {
-			rel = "E2"
-		}
-		p := make(value.Path, 1+r.Intn(3))
-		for i := range p {
-			p[i] = value.Intern(atoms[r.Intn(len(atoms))])
-		}
-		return fact{rel: rel, path: p}
-	}
-
-	var steps []step
-	var present []fact // grows only; retracting an absent fact is a no-op
-	n := 8 + r.Intn(7)
-	for i := 0; i < n; i++ {
-		st := step{retract: i > 0 && r.Float64() < 0.4}
-		for j := 0; j < 1+r.Intn(3); j++ {
-			if st.retract && len(present) > 0 && r.Float64() < 0.7 {
-				st.facts = append(st.facts, present[r.Intn(len(present))])
-			} else {
-				f := randFact()
-				st.facts = append(st.facts, f)
-				if !st.retract {
-					present = append(present, f)
-				}
-			}
-		}
-		steps = append(steps, st)
-	}
-
-	return scenario{
-		src:     strings.Join(rules, "\n") + "\n",
-		steps:   steps,
-		workers: []int{1, 2, 4}[r.Intn(3)],
-	}
-}
-
-// shadow is the reference copy of the EDB, maintained by replaying the
-// interleaving directly; edb() materializes it as a fresh instance for
-// the from-scratch evaluation.
-type shadow struct {
-	facts map[string]fact
-}
-
-func newShadow() *shadow { return &shadow{facts: map[string]fact{}} }
-
-func (s *shadow) key(f fact) string { return f.rel + "\x00" + f.path.String() }
-
-func (s *shadow) apply(st step) {
-	for _, f := range st.facts {
-		if st.retract {
-			delete(s.facts, s.key(f))
-		} else {
-			s.facts[s.key(f)] = f
-		}
-	}
-}
-
-func (s *shadow) edb() *instance.Instance {
-	inst := instance.New()
-	inst.Ensure("E1", 1)
-	inst.Ensure("E2", 1)
-	for _, f := range s.facts {
-		inst.AddPath(f.rel, f.path)
-	}
-	return inst
-}
-
-// batch materializes one step's facts as an engine delta.
-func batch(facts []fact) *instance.Instance {
-	inst := instance.New()
-	for _, f := range facts {
-		inst.AddPath(f.rel, f.path)
-	}
-	return inst
-}
 
 // runSeed replays one scenario, checking after every step that the
 // variant-maintained engine, the base-plan engine, and the
 // from-scratch evaluation agree exactly.
 func runSeed(t *testing.T, seed int64) {
 	t.Helper()
-	sc := genScenario(rand.New(rand.NewSource(seed)))
+	sc := GenScenario(rand.New(rand.NewSource(seed)))
 
-	prog, err := parser.ParseProgram(sc.src)
+	prog, err := parser.ParseProgram(sc.Src)
 	if err != nil {
-		t.Fatalf("seed %d: generated program does not parse: %v\n%s", seed, err, sc.src)
+		t.Fatalf("seed %d: generated program does not parse: %v\n%s", seed, err, sc.Src)
 	}
 	prep, err := eval.Compile(prog)
 	if err != nil {
-		t.Fatalf("seed %d: generated program does not compile: %v\n%s", seed, err, sc.src)
+		t.Fatalf("seed %d: generated program does not compile: %v\n%s", seed, err, sc.Src)
 	}
-	limits := eval.Limits{Parallelism: sc.workers}
+	limits := eval.Limits{Parallelism: sc.Workers}
 
 	// Engines capture eval.DeltaVariants at construction, so toggling
 	// the global here pins both regimes for the whole interleaving.
@@ -216,34 +55,27 @@ func runSeed(t *testing.T, seed int64) {
 		t.Fatalf("seed %d: NewEngine(base): %v", seed, err)
 	}
 
-	sh := newShadow()
-	history := func(i int) string {
-		var b strings.Builder
-		for j := 0; j <= i; j++ {
-			fmt.Fprintf(&b, "  %2d: %s\n", j, sc.steps[j])
-		}
-		return b.String()
-	}
-	for i, st := range sc.steps {
+	sh := NewShadow()
+	for i, st := range sc.Steps {
 		apply := func(e *eval.Engine) error {
-			if st.retract {
-				_, err := e.Retract(batch(st.facts))
+			if st.Retract {
+				_, err := e.Retract(Batch(st.Facts))
 				return err
 			}
-			_, err := e.Assert(batch(st.facts))
+			_, err := e.Assert(Batch(st.Facts))
 			return err
 		}
 		if err := apply(engOn); err != nil {
-			t.Fatalf("seed %d step %d (variants, workers=%d): %v\n%s%s", seed, i, sc.workers, err, sc.src, history(i))
+			t.Fatalf("seed %d step %d (variants, workers=%d): %v\n%s%s", seed, i, sc.Workers, err, sc.Src, sc.History(i))
 		}
 		if err := apply(engOff); err != nil {
-			t.Fatalf("seed %d step %d (base, workers=%d): %v\n%s%s", seed, i, sc.workers, err, sc.src, history(i))
+			t.Fatalf("seed %d step %d (base, workers=%d): %v\n%s%s", seed, i, sc.Workers, err, sc.Src, sc.History(i))
 		}
-		sh.apply(st)
+		sh.Apply(st)
 
-		want, err := prep.Eval(sh.edb(), limits)
+		want, err := prep.Eval(sh.EDB(), limits)
 		if err != nil {
-			t.Fatalf("seed %d step %d: from-scratch Eval: %v\n%s%s", seed, i, err, sc.src, history(i))
+			t.Fatalf("seed %d step %d: from-scratch Eval: %v\n%s%s", seed, i, err, sc.Src, sc.History(i))
 		}
 		snapOn, err := engOn.Snapshot()
 		if err != nil {
@@ -255,15 +87,15 @@ func runSeed(t *testing.T, seed int64) {
 		}
 		if d := instance.Diff(snapOn, want); d != "" {
 			t.Fatalf("seed %d step %d (workers=%d): variant engine diverges from scratch: %s\n%s%s",
-				seed, i, sc.workers, d, sc.src, history(i))
+				seed, i, sc.Workers, d, sc.Src, sc.History(i))
 		}
 		if d := instance.Diff(snapOff, want); d != "" {
 			t.Fatalf("seed %d step %d (workers=%d): base engine diverges from scratch: %s\n%s%s",
-				seed, i, sc.workers, d, sc.src, history(i))
+				seed, i, sc.Workers, d, sc.Src, sc.History(i))
 		}
 		if d := instance.Diff(snapOn, snapOff); d != "" {
 			t.Fatalf("seed %d step %d (workers=%d): variant and base engines diverge: %s\n%s%s",
-				seed, i, sc.workers, d, sc.src, history(i))
+				seed, i, sc.Workers, d, sc.Src, sc.History(i))
 		}
 	}
 }

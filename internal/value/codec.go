@@ -1,0 +1,99 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file holds the binary codec for paths, the wire format of the
+// durability layer (internal/wal): WAL records and snapshot
+// checkpoints serialize tuples with AppendPath and read them back with
+// ConsumePath. The encoding carries atom TEXTS, never Syms — Syms are
+// dense handles into this process's symbol table and mean nothing in
+// the process that replays the log — so decoding re-interns every atom
+// and re-canonicalizes every packed value, yielding values that are
+// structurally equal to the originals under any symbol-table state.
+//
+// Encoding (all integers are uvarints):
+//
+//	path   := count value*
+//	value  := 0x00 len byte*      -- atom, UTF-8 text
+//	        | 0x01 path           -- packed value <p>
+//
+// The format is self-delimiting, so consumers can concatenate paths
+// back to back (tuples, relations) without extra framing.
+
+// Codec tags for the two value kinds.
+const (
+	codecAtom   = 0x00
+	codecPacked = 0x01
+)
+
+// AppendPath appends the binary encoding of p to b and returns the
+// extended slice.
+func AppendPath(b []byte, p Path) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	for _, v := range p {
+		switch x := v.(type) {
+		case Atom:
+			text := x.Text()
+			b = append(b, codecAtom)
+			b = binary.AppendUvarint(b, uint64(len(text)))
+			b = append(b, text...)
+		case Packed:
+			b = append(b, codecPacked)
+			b = AppendPath(b, x.Unpack())
+		default:
+			panic(fmt.Sprintf("value: cannot encode value of type %T", v))
+		}
+	}
+	return b
+}
+
+// ConsumePath decodes one path from the front of b, returning the path
+// and the remaining bytes. Atoms are re-interned and packed values
+// re-canonicalized, so the result is structurally equal to the encoded
+// path regardless of the symbol-table state of the decoding process. A
+// truncated or malformed encoding returns an error; the durability
+// layer treats that as a corrupt record.
+func ConsumePath(b []byte) (Path, []byte, error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil, b, fmt.Errorf("value: truncated path length")
+	}
+	b = b[w:]
+	if n > uint64(len(b)) {
+		// Each value costs at least one tag byte; an element count larger
+		// than the remaining bytes cannot be satisfied. Reject it here so
+		// corrupt counts fail cleanly instead of allocating wildly.
+		return nil, b, fmt.Errorf("value: path of %d values in %d remaining bytes", n, len(b))
+	}
+	p := make(Path, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(b) == 0 {
+			return nil, b, fmt.Errorf("value: truncated path (value %d of %d)", i+1, n)
+		}
+		tag := b[0]
+		b = b[1:]
+		switch tag {
+		case codecAtom:
+			l, w := binary.Uvarint(b)
+			if w <= 0 || l > uint64(len(b[w:])) {
+				return nil, b, fmt.Errorf("value: truncated atom (value %d of %d)", i+1, n)
+			}
+			b = b[w:]
+			p = append(p, Intern(string(b[:l])))
+			b = b[l:]
+		case codecPacked:
+			inner, rest, err := ConsumePath(b)
+			if err != nil {
+				return nil, rest, fmt.Errorf("value: packed value %d of %d: %w", i+1, n, err)
+			}
+			p = append(p, Pack(inner))
+			b = rest
+		default:
+			return nil, b, fmt.Errorf("value: unknown value tag 0x%02x (value %d of %d)", tag, i+1, n)
+		}
+	}
+	return p, b, nil
+}

@@ -1,0 +1,90 @@
+package value
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPathCodecRoundTrip(t *testing.T) {
+	cases := []Path{
+		Epsilon,
+		PathOf("a"),
+		PathOf("a", "b", "c"),
+		PathOf("", "quoted atom", "a.b", "x'y", "\x00\xff"),
+		{Pack(PathOf("a", "b"))},
+		{Intern("a"), Pack(Path{Intern("b"), Pack(PathOf("c", "d"))}), Intern("e")},
+		{Pack(Epsilon)},
+	}
+	for _, p := range cases {
+		enc := AppendPath(nil, p)
+		got, rest, err := ConsumePath(enc)
+		if err != nil {
+			t.Fatalf("ConsumePath(%s): %v", p, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("ConsumePath(%s): %d leftover bytes", p, len(rest))
+		}
+		if !got.Equal(p) {
+			t.Fatalf("round trip of %s yielded %s", p, got)
+		}
+	}
+}
+
+func TestPathCodecSelfDelimiting(t *testing.T) {
+	a, b := PathOf("x", "y"), Path{Pack(PathOf("z"))}
+	enc := AppendPath(AppendPath(nil, a), b)
+	gotA, rest, err := ConsumePath(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, rest, err := ConsumePath(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotA.Equal(a) || !gotB.Equal(b) || len(rest) != 0 {
+		t.Fatalf("concatenated decode: %s / %s (%d leftover)", gotA, gotB, len(rest))
+	}
+}
+
+// TestPathCodecCarriesTextsNotHandles pins the property recovery
+// depends on: the wire format stores atom texts, so a decoding process
+// whose symbol table assigned different Syms still reconstructs equal
+// values. A same-process test cannot truly reset the global table, so
+// it checks the observable halves: the encoded bytes literally contain
+// the text, and decoding goes through Intern (canonical Atom equality
+// even for atoms first seen by the decoder).
+func TestPathCodecCarriesTextsNotHandles(t *testing.T) {
+	p := PathOf("durability_codec_text_marker")
+	enc := AppendPath(nil, p)
+	if !bytes.Contains(enc, []byte("durability_codec_text_marker")) {
+		t.Fatalf("encoding does not carry the atom text: %q", enc)
+	}
+	got, _, err := ConsumePath(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].(Atom) != p[0].(Atom) {
+		t.Fatal("decoded atom is not the canonical interned atom")
+	}
+}
+
+func TestPathCodecRejectsCorruption(t *testing.T) {
+	enc := AppendPath(nil, Path{Intern("abc"), Pack(PathOf("d"))})
+	// Every strict prefix must fail: the encoding is exact, so any cut
+	// lands mid-count, mid-tag or mid-content.
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := ConsumePath(enc[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded silently", i)
+		}
+	}
+	// A bad tag fails.
+	bad := append([]byte{}, enc...)
+	bad[1] = 0x7f
+	if _, _, err := ConsumePath(bad); err == nil {
+		t.Fatal("bad tag decoded silently")
+	}
+	// An absurd element count fails before allocating.
+	if _, _, err := ConsumePath([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Fatal("absurd count decoded silently")
+	}
+}

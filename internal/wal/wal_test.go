@@ -1,0 +1,540 @@
+package wal_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"seqlog/internal/eval"
+	"seqlog/internal/fuzztest"
+	"seqlog/internal/instance"
+	"seqlog/internal/parser"
+	"seqlog/internal/value"
+	"seqlog/internal/wal"
+	"seqlog/internal/wal/walfault"
+)
+
+// replayHandler feeds recovery into an eval.Replayer — the same
+// adapter the daemon uses, reproduced here so the package tests stand
+// alone.
+type replayHandler struct {
+	rep eval.Replayer
+}
+
+func (h *replayHandler) Restore(program string, edb *instance.Instance) error {
+	return h.rep.Restore(program, edb)
+}
+
+func (h *replayHandler) Replay(rec wal.Record) error {
+	switch rec.Op {
+	case wal.OpLoad:
+		return h.rep.Load(rec.Program)
+	case wal.OpAssert:
+		return h.rep.Assert(rec.Batch)
+	case wal.OpRetract:
+		return h.rep.Retract(rec.Batch)
+	}
+	return fmt.Errorf("unknown op %s", rec.Op)
+}
+
+func (h *replayHandler) snapshot(t *testing.T) *instance.Instance {
+	t.Helper()
+	snap, err := h.rep.Engine().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func stepRecord(st fuzztest.Step) wal.Record {
+	op := wal.OpAssert
+	if st.Retract {
+		op = wal.OpRetract
+	}
+	return wal.Record{Op: op, Batch: fuzztest.Batch(st.Facts)}
+}
+
+// mustOpen opens a log over a fresh replayHandler, failing the test on
+// error.
+func mustOpen(t *testing.T, dir string, opts wal.Options) (*wal.Log, *replayHandler) {
+	t.Helper()
+	h := &replayHandler{}
+	l, err := wal.Open(dir, opts, h)
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	return l, h
+}
+
+const tcSrc = "T(@x.@y) :- E(@x.@y).\nT(@x.@z) :- T(@x.@y), E(@y.@z).\n"
+
+func factBatch(rel string, paths ...value.Path) *instance.Instance {
+	inst := instance.New()
+	for _, p := range paths {
+		inst.AddPath(rel, p)
+	}
+	return inst
+}
+
+// TestWALRecoveryRoundTrip: a load plus a few batches written, closed,
+// and recovered lands on the same materialization the live engine had.
+func TestWALRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, h := mustOpen(t, dir, wal.Options{Sync: wal.SyncAlways})
+
+	appendApply := func(rec wal.Record) {
+		t.Helper()
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Replay(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendApply(wal.Record{Op: wal.OpLoad, Program: tcSrc})
+	appendApply(wal.Record{Op: wal.OpAssert, Batch: factBatch("E", value.PathOf("a", "b"), value.PathOf("b", "c"))})
+	appendApply(wal.Record{Op: wal.OpRetract, Batch: factBatch("E", value.PathOf("a", "b"))})
+	appendApply(wal.Record{Op: wal.OpAssert, Batch: factBatch("E", value.PathOf("c", "d"))})
+	want := h.snapshot(t)
+	if l.Records() != 4 || l.Bytes() == 0 {
+		t.Fatalf("counters: records=%d bytes=%d", l.Records(), l.Bytes())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, h2 := mustOpen(t, dir, wal.Options{})
+	defer l2.Close()
+	rs := l2.Recovery()
+	if rs.RecordsReplayed != 4 || rs.CheckpointGen != 0 || rs.TruncatedBytes != 0 || rs.ReplayErrors != 0 {
+		t.Fatalf("recovery stats: %+v", rs)
+	}
+	if d := instance.Diff(h2.snapshot(t), want); d != "" {
+		t.Fatalf("recovered state diverges: %s", d)
+	}
+	if h2.rep.Source() != tcSrc {
+		t.Fatal("recovered program source lost")
+	}
+}
+
+// crashPlan is one simulated crash: cut or corrupt the newest WAL file
+// at a chosen byte.
+type crashPlan struct {
+	corrupt bool  // flip a byte instead of truncating
+	at      int64 // offset within the newest WAL file
+}
+
+// runScenario drives a generated scenario through a live Replayer with
+// WAL-first appends, returning the end offset within the current
+// generation's file after each record and the generation it landed in.
+func runScenario(t *testing.T, dir string, sc fuzztest.Scenario, ckptEvery int) (gens []int, ends []int64, lastGen int) {
+	t.Helper()
+	opts := wal.Options{Sync: wal.SyncAlways, CheckpointRecords: -1, CheckpointBytes: -1}
+	l, h := mustOpen(t, dir, opts)
+	defer l.Close()
+
+	const magicLen = 8
+	gen, genStart := 0, int64(0)
+	appendApply := func(rec wal.Record) {
+		t.Helper()
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Replay(rec); err != nil {
+			t.Fatal(err)
+		}
+		gens = append(gens, gen)
+		ends = append(ends, magicLen+l.Bytes()-genStart)
+	}
+	appendApply(wal.Record{Op: wal.OpLoad, Program: sc.Src})
+	for i, st := range sc.Steps {
+		appendApply(stepRecord(st))
+		if ckptEvery > 0 && (i+1)%ckptEvery == 0 {
+			edb, err := h.rep.Engine().EDBSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Checkpoint(h.rep.Source(), edb); err != nil {
+				t.Fatal(err)
+			}
+			gen++
+			genStart = l.Bytes()
+		}
+	}
+	return gens, ends, gen
+}
+
+// wantAfter computes the reference materialization after the first k
+// records (record 0 is the load) by from-scratch evaluation over a
+// shadow EDB.
+func wantAfter(t *testing.T, sc fuzztest.Scenario, k int) *instance.Instance {
+	t.Helper()
+	prog, err := parser.ParseProgram(sc.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := eval.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := fuzztest.NewShadow()
+	for i := 0; i < k-1; i++ {
+		sh.Apply(sc.Steps[i])
+	}
+	want, err := prep.Eval(sh.EDB(), eval.Limits{Parallelism: sc.Workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// crashRecoverySeed replays one generated history with WAL-first
+// appends, crashes it by truncating or corrupting the newest WAL file
+// at an arbitrary byte (record boundaries and mid-record alike), and
+// checks the recovered engine is Diff-identical to a from-scratch
+// evaluation of exactly the records that survived the damage.
+func crashRecoverySeed(t *testing.T, seed int64, ckptEvery int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	sc := fuzztest.GenScenario(r)
+	dir := t.TempDir()
+	gens, ends, lastGen := runScenario(t, dir, sc, ckptEvery)
+
+	newest := filepath.Join(dir, fmt.Sprintf("wal-%08d.log", lastGen))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const magicLen = 8
+	plan := crashPlan{corrupt: r.Intn(2) == 1, at: magicLen + r.Int63n(int64(len(data))-magicLen+1)}
+	if plan.corrupt && plan.at >= int64(len(data)) {
+		plan.corrupt = false // nothing to flip past the end
+	}
+	if plan.corrupt {
+		data[plan.at] ^= 0x5a
+		if err := os.WriteFile(newest, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := os.Truncate(newest, plan.at); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Surviving records: everything in older generations (subsumed by
+	// the newest checkpoint) plus the newest file's records that end at
+	// or before the damage point. A corrupted byte kills the record
+	// whose frame contains it and everything after.
+	k := 0
+	for i := range ends {
+		if gens[i] < lastGen || ends[i] <= plan.at {
+			k++
+		}
+	}
+
+	l2, h2 := mustOpen(t, dir, wal.Options{CheckpointRecords: -1, CheckpointBytes: -1})
+	defer l2.Close()
+	rs := l2.Recovery()
+	if h2.rep.Engine() == nil {
+		if k != 0 {
+			t.Fatalf("seed %d ckpt=%d %+v: recovery empty, want %d records\n%s%s",
+				seed, ckptEvery, plan, k, sc.Src, sc.History(len(sc.Steps)-1))
+		}
+		return
+	}
+	if d := instance.Diff(h2.snapshot(t), wantAfter(t, sc, k)); d != "" {
+		t.Fatalf("seed %d ckpt=%d %+v (recovered %d ckpt-gen %d, want %d records): %s\n%s%s",
+			seed, ckptEvery, plan, rs.RecordsReplayed, rs.CheckpointGen, k, d, sc.Src, sc.History(len(sc.Steps)-1))
+	}
+
+	// The recovered log must keep working: append the remaining steps
+	// and land on the history's true final state.
+	for i := k - 1; i < len(sc.Steps); i++ {
+		if i < 0 {
+			continue
+		}
+		rec := stepRecord(sc.Steps[i])
+		if err := l2.Append(rec); err != nil {
+			t.Fatalf("seed %d: append after recovery: %v", seed, err)
+		}
+		if err := h2.Replay(rec); err != nil {
+			t.Fatalf("seed %d: apply after recovery: %v", seed, err)
+		}
+	}
+	if d := instance.Diff(h2.snapshot(t), wantAfter(t, sc, len(sc.Steps)+1)); d != "" {
+		t.Fatalf("seed %d: resumed history diverges: %s", seed, d)
+	}
+}
+
+// TestCrashRecoveryDifferential fuzzes crash recovery over the same
+// randomized histories the maintenance fuzzer uses, without
+// checkpoints: the whole log replays from the start.
+func TestCrashRecoveryDifferential(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := 0; seed < seeds; seed++ {
+		crashRecoverySeed(t, int64(seed), 0)
+	}
+}
+
+// TestCrashRecoveryCheckpointed is the same differential with a
+// checkpoint cut every few records, so recovery exercises the
+// snapshot-plus-tail path and generation rotation.
+func TestCrashRecoveryCheckpointed(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := 0; seed < seeds; seed++ {
+		crashRecoverySeed(t, int64(seed), 3)
+	}
+}
+
+// TestCheckpointFallbackRecovery: a corrupted newest checkpoint is
+// skipped and recovery falls back to the previous generation, replaying
+// both WAL files it subsumes.
+func TestCheckpointFallbackRecovery(t *testing.T) {
+	dir := t.TempDir()
+	sc := fuzztest.GenScenario(rand.New(rand.NewSource(7)))
+	runScenario(t, dir, sc, 4)
+
+	ckpts, _ := filepath.Glob(filepath.Join(dir, "checkpoint-*.ckpt"))
+	sort.Strings(ckpts)
+	if len(ckpts) == 0 {
+		t.Fatal("no checkpoints written")
+	}
+	newest := ckpts[len(ckpts)-1]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, h := mustOpen(t, dir, wal.Options{})
+	defer l.Close()
+	rs := l.Recovery()
+	if rs.CheckpointsSkipped != 1 {
+		t.Fatalf("recovery stats: %+v", rs)
+	}
+	if d := instance.Diff(h.snapshot(t), wantAfter(t, sc, len(sc.Steps)+1)); d != "" {
+		t.Fatalf("fallback recovery diverges: %s", d)
+	}
+}
+
+// TestCheckpointRetention: repeated checkpoints keep exactly the
+// current and the immediately previous generation on disk.
+func TestCheckpointRetention(t *testing.T) {
+	dir := t.TempDir()
+	l, h := mustOpen(t, dir, wal.Options{Sync: wal.SyncNever, CheckpointRecords: -1, CheckpointBytes: -1})
+	defer l.Close()
+	rec := wal.Record{Op: wal.OpLoad, Program: tcSrc}
+	if err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Replay(rec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		rec := wal.Record{Op: wal.OpAssert, Batch: factBatch("E", value.PathOf("n", fmt.Sprint(i)))}
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Replay(rec); err != nil {
+			t.Fatal(err)
+		}
+		edb, err := h.rep.Engine().EDBSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Checkpoint(h.rep.Source(), edb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Checkpoints() != 4 {
+		t.Fatalf("checkpoints=%d", l.Checkpoints())
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base []string
+	for _, n := range names {
+		base = append(base, filepath.Base(n))
+	}
+	sort.Strings(base)
+	want := []string{
+		"checkpoint-00000003.ckpt", "checkpoint-00000004.ckpt",
+		"wal-00000003.log", "wal-00000004.log",
+	}
+	if strings.Join(base, " ") != strings.Join(want, " ") {
+		t.Fatalf("retained files: %v, want %v", base, want)
+	}
+
+	l2, h2 := mustOpen(t, dir, wal.Options{})
+	defer l2.Close()
+	if l2.Recovery().CheckpointGen != 4 {
+		t.Fatalf("recovery stats: %+v", l2.Recovery())
+	}
+	if d := instance.Diff(h2.snapshot(t), h.snapshot(t)); d != "" {
+		t.Fatalf("recovered state diverges: %s", d)
+	}
+}
+
+// TestTornTailRecoveryContinues: after truncating mid-record, recovery
+// reports the cut, the log accepts new appends at the truncation
+// point, and the next recovery sees old prefix + new records.
+func TestTornTailRecoveryContinues(t *testing.T) {
+	dir := t.TempDir()
+	l, h := mustOpen(t, dir, wal.Options{Sync: wal.SyncAlways})
+	for _, rec := range []wal.Record{
+		{Op: wal.OpLoad, Program: tcSrc},
+		{Op: wal.OpAssert, Batch: factBatch("E", value.PathOf("a", "b"))},
+		{Op: wal.OpAssert, Batch: factBatch("E", value.PathOf("b", "c"))},
+	} {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Replay(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	path := filepath.Join(dir, "wal-00000000.log")
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-3); err != nil { // torn mid-record
+		t.Fatal(err)
+	}
+
+	l2, h2 := mustOpen(t, dir, wal.Options{Sync: wal.SyncAlways})
+	rs := l2.Recovery()
+	if rs.RecordsReplayed != 2 || rs.TruncatedBytes == 0 {
+		t.Fatalf("recovery stats: %+v", rs)
+	}
+	rec := wal.Record{Op: wal.OpAssert, Batch: factBatch("E", value.PathOf("c", "d"))}
+	if err := l2.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Replay(rec); err != nil {
+		t.Fatal(err)
+	}
+	want := h2.snapshot(t)
+	l2.Close()
+
+	l3, h3 := mustOpen(t, dir, wal.Options{})
+	defer l3.Close()
+	if rs := l3.Recovery(); rs.RecordsReplayed != 3 || rs.TruncatedBytes != 0 {
+		t.Fatalf("second recovery stats: %+v", rs)
+	}
+	if d := instance.Diff(h3.snapshot(t), want); d != "" {
+		t.Fatalf("state after torn-tail append diverges: %s", d)
+	}
+}
+
+// TestFaultInjectionReadonly: an injected mid-record write failure
+// makes the log sticky-fail (the daemon's readonly signal), and
+// recovery truncates the torn record — acknowledged records survive,
+// the torn one does not.
+func TestFaultInjectionReadonly(t *testing.T) {
+	for _, failAfter := range []int64{20, 45, 61, 80} {
+		dir := t.TempDir()
+		var fw *walfault.Writer
+		opts := wal.Options{Sync: wal.SyncAlways, WrapWriter: func(w io.Writer) io.Writer {
+			fw = &walfault.Writer{W: w, FailAfter: failAfter}
+			return fw
+		}}
+		l, h := mustOpen(t, dir, opts)
+		var acked int
+		recs := []wal.Record{
+			{Op: wal.OpLoad, Program: tcSrc},
+			{Op: wal.OpAssert, Batch: factBatch("E", value.PathOf("a", "b"))},
+			{Op: wal.OpAssert, Batch: factBatch("E", value.PathOf("b", "c"))},
+			{Op: wal.OpAssert, Batch: factBatch("E", value.PathOf("c", "d"))},
+		}
+		var failed error
+		for _, rec := range recs {
+			if err := l.Append(rec); err != nil {
+				failed = err
+				break
+			}
+			if err := h.Replay(rec); err != nil {
+				t.Fatal(err)
+			}
+			acked++
+		}
+		if failed == nil || !fw.Tripped() {
+			t.Fatalf("failAfter=%d: fault did not fire (acked=%d)", failAfter, acked)
+		}
+		if l.Err() == nil {
+			t.Fatalf("failAfter=%d: failure must be sticky", failAfter)
+		}
+		if err := l.Append(recs[len(recs)-1]); err == nil {
+			t.Fatalf("failAfter=%d: append after failure must keep failing", failAfter)
+		}
+		l.Close()
+
+		l2, h2 := mustOpen(t, dir, wal.Options{})
+		if rs := l2.Recovery(); rs.RecordsReplayed != acked {
+			t.Fatalf("failAfter=%d: recovered %d records, want %d (%+v)", failAfter, rs.RecordsReplayed, acked, rs)
+		}
+		if acked > 0 {
+			if d := instance.Diff(h2.snapshot(t), h.snapshot(t)); d != "" {
+				t.Fatalf("failAfter=%d: recovered state diverges: %s", failAfter, d)
+			}
+		}
+		l2.Close()
+	}
+}
+
+// TestSyncIntervalPolicy: under SyncInterval the sync happens on the
+// first append past the deadline, driven by the injected clock.
+func TestSyncIntervalPolicy(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	opts := wal.Options{Sync: wal.SyncInterval, SyncEvery: 50 * time.Millisecond,
+		Now: func() time.Time { return now }}
+	l, _ := mustOpen(t, dir, opts)
+	defer l.Close()
+	if err := l.Append(wal.Record{Op: wal.OpLoad, Program: tcSrc}); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(60 * time.Millisecond)
+	if err := l.Append(wal.Record{Op: wal.OpAssert, Batch: factBatch("E", value.PathOf("a", "b"))}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 2 {
+		t.Fatalf("records=%d", l.Records())
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want wal.SyncPolicy
+	}{{"always", wal.SyncAlways}, {"interval", wal.SyncInterval}, {"never", wal.SyncNever}} {
+		got, err := wal.ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := wal.ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy must error")
+	}
+}

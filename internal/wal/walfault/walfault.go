@@ -1,0 +1,65 @@
+// Package walfault injects write failures into a WAL for recovery
+// tests: a Writer that delivers exactly the first FailAfter bytes and
+// then fails, modelling a disk that dies mid-record (torn write) or at
+// a record boundary. Wire it through wal.Options.WrapWriter.
+package walfault
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the default error a tripped Writer returns.
+var ErrInjected = errors.New("walfault: injected write failure")
+
+// Writer passes writes through to W until FailAfter total bytes have
+// been written, delivers the prefix of the write that still fits (the
+// torn write), and fails that call and every later one. FailAfter < 0
+// never fails.
+type Writer struct {
+	W io.Writer
+	// FailAfter is the number of bytes allowed through before the
+	// failure; a failure mid-record leaves a torn record on disk.
+	FailAfter int64
+	// Err is the error returned once tripped (ErrInjected if nil).
+	Err error
+
+	written int64
+	tripped bool
+}
+
+// Written returns the total bytes delivered to W.
+func (f *Writer) Written() int64 { return f.written }
+
+// Tripped reports whether the injected failure has fired.
+func (f *Writer) Tripped() bool { return f.tripped }
+
+func (f *Writer) fail() error {
+	f.tripped = true
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+func (f *Writer) Write(p []byte) (int, error) {
+	if f.tripped {
+		return 0, f.fail()
+	}
+	if f.FailAfter < 0 || f.written+int64(len(p)) <= f.FailAfter {
+		n, err := f.W.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	// Deliver the torn prefix, then fail.
+	keep := f.FailAfter - f.written
+	if keep < 0 {
+		keep = 0
+	}
+	n, err := f.W.Write(p[:keep])
+	f.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, f.fail()
+}

@@ -28,6 +28,9 @@ go test -run '^$' -bench '.' -benchmem -count="$count" \
 # the per-run time.
 go test -run '^$' -bench 'IncrementalAssert|IncrementalRetract' -benchmem \
     -benchtime 1s -count="$count" . >> "$raw"
+# Durability: crash-recovery cost, full-log replay vs checkpoint+tail.
+go test -run '^$' -bench 'Recovery' -benchmem -benchtime 1s \
+    -count="$count" ./internal/wal/ >> "$raw"
 cat "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
@@ -41,18 +44,29 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
 END { printf "\n  ]\n}\n" }
 ' "$raw" > "$out"
 
-# The serving trajectory is the point of this archive: a rename or a
-# filter typo that silently drops the incremental series must fail CI,
-# not produce a hollow JSON. Every series named here has to be present.
-for series in \
-    'BenchmarkIncrementalAssert/incremental/k=1' \
-    'BenchmarkIncrementalAssert/incremental-novariants/k=1' \
-    'BenchmarkIncrementalAssert/fromscratch/k=1' \
-    'BenchmarkIncrementalRetract/retract/k=1' \
-    'BenchmarkIncrementalRetract/retract-novariants/k=1'
-do
-    if ! grep -q "\"$series\"" "$out"; then
-        echo "bench.sh: series $series missing from $out" >&2
+# The perf trajectory is the point of this archive: a rename or a
+# filter typo that silently drops a series must fail CI, not produce a
+# hollow JSON. Require the core serving and recovery series explicitly,
+# plus every series present in the newest committed snapshot — anything
+# benchmarked before has to keep being benchmarked.
+required='BenchmarkIncrementalAssert/incremental/k=1
+BenchmarkIncrementalAssert/incremental-novariants/k=1
+BenchmarkIncrementalAssert/fromscratch/k=1
+BenchmarkIncrementalRetract/retract/k=1
+BenchmarkIncrementalRetract/retract-novariants/k=1
+BenchmarkRecovery/replay/n=512
+BenchmarkRecovery/checkpoint-tail/n=512'
+prev=""
+for f in BENCH_*.json; do
+    [ -e "$f" ] && [ "$f" != "$out" ] && prev="$f"
+done
+if [ -n "$prev" ]; then
+    required="$required
+$(sed -n 's/.*"benchmark": "\([^"]*\)".*/\1/p' "$prev")"
+fi
+for series in $(printf '%s\n' "$required" | sort -u); do
+    if ! grep -qF "\"$series\"" "$out"; then
+        echo "bench.sh: series $series missing from $out (previously in ${prev:-the required set})" >&2
         exit 1
     fi
 done
