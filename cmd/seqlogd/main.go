@@ -28,14 +28,16 @@
 // "err ..."):
 //
 //	load                  read program lines until a lone "."; compile
-//	                      and start a fresh engine (empty EDB). A program
-//	                      with error-severity diagnostics is rejected —
-//	                      the diagnostics are listed one per line as
-//	                      "diag <line:col>: <code>: <message>" before the
-//	                      final "err", and the previous engine keeps
-//	                      serving. Analyzer warnings do not block the
-//	                      load; they are listed the same way before
-//	                      "ok loaded warnings=N".
+//	                      and start a fresh engine seeded with the
+//	                      previous engine's EDB (base facts carry over a
+//	                      program upgrade; derived facts are recomputed).
+//	                      A program with error-severity diagnostics is
+//	                      rejected — the diagnostics are listed one per
+//	                      line as "diag <line:col>: <code>: <message>"
+//	                      before the final "err", and the previous engine
+//	                      keeps serving. Analyzer warnings do not block
+//	                      the load; they are listed the same way before
+//	                      "ok loaded warnings=N carried=M".
 //	assert <facts>        e.g. assert E(a.b). E(b.c).
 //	retract <facts>       withdraw facts; derived facts losing their
 //	                      last derivation disappear (DRed maintenance)
@@ -139,7 +141,7 @@ func main() {
 				fail(fmt.Errorf("%s: %w", *dataFile, err))
 			}
 		}
-		if err := srv.load(string(src), edb); err != nil {
+		if _, err := srv.load(string(src), edb); err != nil {
 			fail(fmt.Errorf("%s: %w", *programFile, err))
 		}
 		if *dataFile != "" {
@@ -474,25 +476,33 @@ func (s *server) durabilityCounters() string {
 		records, bytes, checkpoints, recovered, ro, idle)
 }
 
-// load compiles src and replaces the served engine with a fresh one
-// over edb. Facts asserted into the previous engine are discarded:
-// loading is a reset, not a migration. A program the static analyzer
-// rejects returns an *analyze.DiagError (wrapped or direct) and leaves
-// the previous engine serving; the rejection is counted in stats.
+// load compiles src and replaces the served engine with a fresh one.
+// A nil edb means "carry the EDB over": the new engine is seeded from
+// the previous engine's EDB snapshot (its non-IDB relations plus
+// frozen IDB seeds), so a program upgrade keeps the live fact base —
+// snapshots share their chunked storage, so the carry copies no
+// tuples. An explicit edb (the -program/-data startup path) is used as
+// given. The returned count is the number of facts carried over. A
+// program the static analyzer rejects returns an *analyze.DiagError
+// (wrapped or direct) and leaves the previous engine serving; the
+// rejection is counted in stats.
 //
 // Under -wal-dir a successful compile is logged as an OpLoad record —
-// the start of a new load epoch — before the engine swap; replaying it
-// resets to an empty EDB, exactly like the protocol's load verb. (The
-// startup path with -data additionally cuts a checkpoint, since the
-// record carries only the program.) A load the WAL refuses leaves the
-// previous engine serving.
-func (s *server) load(src string, edb *instance.Instance) error {
+// the start of a new load epoch — before the engine swap; the record
+// carries only the program, and replay reconstructs the same carried
+// EDB from the engine state the preceding records produced
+// (eval.Replayer.Load does the same carry). The snapshot, the record
+// and the swap all happen under the write lock, so no concurrent
+// assert can slip between the carried state and the logged load.
+// (The startup path with -data additionally cuts a checkpoint.) A
+// load the WAL refuses leaves the previous engine serving.
+func (s *server) load(src string, edb *instance.Instance) (int, error) {
 	// Parse without validating: safety and stratification problems
 	// should surface as Compile's structured diagnostics, not as a
 	// single opaque parse error.
 	prog, _, err := parser.ParseProgramForAnalysis(src)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	prep, err := eval.Compile(prog)
 	if err != nil {
@@ -502,11 +512,7 @@ func (s *server) load(src string, edb *instance.Instance) error {
 			s.rejected++
 			s.mu.Unlock()
 		}
-		return err
-	}
-	e, err := eval.NewEngine(prep, edb, s.limits)
-	if err != nil {
-		return err
+		return 0, err
 	}
 	var warns []analyze.Diagnostic
 	for _, d := range prep.Diagnostics() {
@@ -516,8 +522,26 @@ func (s *server) load(src string, edb *instance.Instance) error {
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	carried := 0
+	if edb == nil {
+		edb = instance.New()
+		s.mu.Lock()
+		prev := s.engine
+		s.mu.Unlock()
+		if prev != nil && prev.Err() == nil {
+			snap, err := prev.EDBSnapshot()
+			if err != nil {
+				return 0, err
+			}
+			edb, carried = snap, snap.Facts()
+		}
+	}
+	e, err := eval.NewEngine(prep, edb, s.limits)
+	if err != nil {
+		return 0, err
+	}
 	if err := s.logRecord(wal.Record{Op: wal.OpLoad, Program: src}); err != nil {
-		return err
+		return 0, err
 	}
 	s.mu.Lock()
 	s.engine = e
@@ -525,7 +549,7 @@ func (s *server) load(src string, edb *instance.Instance) error {
 	s.warnings = warns
 	s.mu.Unlock()
 	s.maybeCheckpoint(false)
-	return nil
+	return carried, nil
 }
 
 // loadWarnings returns the analyzer warnings of the served program.
@@ -613,7 +637,8 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				reply("err load: input ended before the terminating \".\" (program discarded, previous engine kept)")
 				continue
 			}
-			if err := s.load(prog.String(), instance.New()); err != nil {
+			carried, err := s.load(prog.String(), nil)
+			if err != nil {
 				var de *analyze.DiagError
 				if errors.As(err, &de) {
 					for _, d := range de.Diags {
@@ -629,7 +654,7 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 			for _, d := range warns {
 				fmt.Fprintf(out, "diag %s\n", d)
 			}
-			reply("ok loaded warnings=%d", len(warns))
+			reply("ok loaded warnings=%d carried=%d", len(warns), carried)
 		case "assert":
 			delta, err := parser.ParseInstance(rest)
 			if err != nil {
@@ -641,9 +666,10 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				reply("err %v", err)
 				continue
 			}
-			reply("ok asserted=%d derived=%d overdeleted=%d rederived=%d skipped=%d incremental=%d%s",
+			reply("ok asserted=%d derived=%d overdeleted=%d rederived=%d skipped=%d incremental=%d%s%s",
 				stats.Asserted, stats.Derived, stats.Overdeleted, stats.Rederived,
-				stats.StrataSkipped, stats.StrataIncremental, planCounters(stats.Plans))
+				stats.StrataSkipped, stats.StrataIncremental, planCounters(stats.Plans),
+				cloneCounters(stats.Clones))
 		case "retract":
 			delta, err := parser.ParseInstance(rest)
 			if err != nil {
@@ -655,9 +681,10 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				reply("err %v", err)
 				continue
 			}
-			reply("ok retracted=%d derived=%d overdeleted=%d rederived=%d skipped=%d incremental=%d%s",
+			reply("ok retracted=%d derived=%d overdeleted=%d rederived=%d skipped=%d incremental=%d%s%s",
 				stats.Retracted, stats.Derived, stats.Overdeleted, stats.Rederived,
-				stats.StrataSkipped, stats.StrataIncremental, planCounters(stats.Plans))
+				stats.StrataSkipped, stats.StrataIncremental, planCounters(stats.Plans),
+				cloneCounters(stats.Clones))
 		case "query":
 			e, err := s.current()
 			if err != nil {
@@ -700,10 +727,10 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				continue
 			}
 			st := e.Stats()
-			reply("ok facts=%d derived=%d asserts=%d retracts=%d warnings=%d rejected_loads=%d delta_variants=%t%s%s",
+			reply("ok facts=%d derived=%d asserts=%d retracts=%d warnings=%d rejected_loads=%d delta_variants=%t%s%s%s",
 				st.Facts, st.Derived, st.Asserts, st.Retracts,
 				len(s.loadWarnings()), s.rejectedLoads(), st.DeltaVariants, planCounters(st.Plans),
-				s.durabilityCounters())
+				cloneCounters(st.Clones), s.durabilityCounters())
 		case "explain":
 			e, err := s.current()
 			if err != nil {
@@ -747,6 +774,18 @@ func (s *server) bumpIdleTimeouts() {
 func planCounters(ps eval.PlanStats) string {
 	return fmt.Sprintf(" plan_variant=%d plan_base=%d probe_index=%d probe_prefix=%d probe_suffix=%d scan=%d",
 		ps.VariantRuns, ps.BaseRuns, ps.IndexProbeSteps, ps.PrefixProbeSteps, ps.SuffixProbeSteps, ps.ScanSteps)
+}
+
+// cloneCounters renders the copy-on-write barrier counters appended to
+// assert/retract/stats replies: how many frozen relations writes had
+// to epoch-clone, how many sealed storage chunks those clones shared
+// by pointer instead of copying, and approximately how many bytes they
+// did copy. A serving mix of snapshot reads and writes should show
+// shared_chunks growing much faster than clone_bytes — that ratio is
+// the epoch-sharing win, observable here without a profiler.
+func cloneCounters(cs instance.CloneStats) string {
+	return fmt.Sprintf(" barrier_clones=%d shared_chunks=%d clone_bytes=%d",
+		cs.BarrierClones, cs.SharedChunks, cs.CloneBytes)
 }
 
 func fail(err error) {

@@ -123,12 +123,41 @@ func TestConcurrentSessionsShareEngine(t *testing.T) {
 
 func num(i int) string { return string(rune('0'+i/10)) + string(rune('0'+i%10)) }
 
-func TestLoadResets(t *testing.T) {
+func TestLoadCarriesEDB(t *testing.T) {
 	srv := &server{limits: eval.Limits{}}
 	run(t, srv, "load\nS($x) :- R($x).\n.\nassert R(a).\n")
-	got := run(t, srv, "load\nS($x) :- R($x).\n.\nquery S\n")
-	if !strings.Contains(got, "ok n=0") {
-		t.Fatalf("load must reset the engine:\n%s", got)
+	got := run(t, srv, "load\nS($x) :- R($x). U($x) :- R($x).\n.\nquery S\nquery U\n")
+	if !strings.Contains(got, "carried=1") {
+		t.Fatalf("reload must report the carried fact count:\n%s", got)
+	}
+	// The carried EDB must re-derive under the new program, including
+	// through rules the old program did not have.
+	if strings.Count(got, "ok n=1") != 2 {
+		t.Fatalf("carried facts must materialize under the new program:\n%s", got)
+	}
+}
+
+func TestLoadFromEmptyCarriesNothing(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	got := run(t, srv, "load\nS($x) :- R($x).\n.\n")
+	if !strings.Contains(got, "carried=0") {
+		t.Fatalf("first load has nothing to carry:\n%s", got)
+	}
+}
+
+// TestLoadCarryArityClashKeepsOldEngine: when the carried EDB is
+// incompatible with the new program (here: R used at a different
+// arity), the load must fail and the previous engine must keep
+// serving untouched.
+func TestLoadCarryArityClashKeepsOldEngine(t *testing.T) {
+	srv := &server{limits: eval.Limits{}}
+	run(t, srv, "load\nS($x) :- R($x).\n.\nassert R(a).\n")
+	got := run(t, srv, "load\nS($x, $y) :- R($x, $y).\n.\nquery S\n")
+	if !strings.Contains(got, "err") {
+		t.Fatalf("arity clash with carried EDB must fail the load:\n%s", got)
+	}
+	if !strings.Contains(got, "ok n=1") {
+		t.Fatalf("old engine must keep serving after a failed load:\n%s", got)
 	}
 }
 
@@ -136,7 +165,7 @@ func TestServerLoadWithInitialData(t *testing.T) {
 	srv := &server{limits: eval.Limits{}}
 	edb := instance.New()
 	edb.AddPath("R", value.PathOf("a"))
-	if err := srv.load("S($x) :- R($x).", edb); err != nil {
+	if _, err := srv.load("S($x) :- R($x).", edb); err != nil {
 		t.Fatal(err)
 	}
 	got := run(t, srv, "query S\n")
@@ -270,7 +299,7 @@ func (l *flakyListener) Addr() net.Addr { return &net.TCPAddr{} }
 // daemon, and the loop must still serve the connections that follow.
 func TestAcceptLoopRetriesTemporaryErrors(t *testing.T) {
 	srv := &server{limits: eval.Limits{}}
-	if err := srv.load("S($x) :- R($x).", instance.New()); err != nil {
+	if _, err := srv.load("S($x) :- R($x).", instance.New()); err != nil {
 		t.Fatal(err)
 	}
 	client, served := net.Pipe()

@@ -243,8 +243,11 @@ func Eval(e Expr, inst *instance.Instance) (*instance.Relation, error) {
 			return nil, err
 		}
 		out := instance.NewRelation(l.Arity + r.Arity)
+		// Materialize the inner side once: Tuples() walks the chunked
+		// tuple log, so calling it per outer tuple would be quadratic.
+		rts := r.Tuples()
 		for _, lt := range l.Tuples() {
-			for _, rt := range r.Tuples() {
+			for _, rt := range rts {
 				nt := make(instance.Tuple, 0, l.Arity+r.Arity)
 				nt = append(nt, lt...)
 				nt = append(nt, rt...)

@@ -142,6 +142,11 @@ type AssertStats struct {
 	// Plans reports which plan shapes the run executed and their access
 	// paths; see PlanStats.
 	Plans PlanStats
+	// Clones reports the copy-on-write barrier work this call performed
+	// on frozen (snapshot-shared) relations: epoch clones made, sealed
+	// chunks shared by pointer, and approximate bytes copied. See
+	// instance.CloneStats.
+	Clones instance.CloneStats
 }
 
 // RetractStats reports what one Retract call did.
@@ -163,6 +168,8 @@ type RetractStats struct {
 	StrataIncremental int
 	// Plans: as in AssertStats.
 	Plans PlanStats
+	// Clones: as in AssertStats.
+	Clones instance.CloneStats
 }
 
 // EngineStats is a point-in-time summary of an engine.
@@ -185,6 +192,11 @@ type EngineStats struct {
 	// delta-hoisted plan variants (captured from eval.DeltaVariants at
 	// NewEngine time).
 	DeltaVariants bool
+	// Clones accumulates the copy-on-write barrier work of every write
+	// since the engine was created (including the initial fixpoint's
+	// clones of frozen EDB seeds): epoch clones made, sealed chunks
+	// shared instead of copied, and approximate bytes copied.
+	Clones instance.CloneStats
 }
 
 // NewEngine compiles nothing — prep is already compiled — but runs the
@@ -283,6 +295,7 @@ func (e *Engine) Stats() EngineStats {
 		LastRetract:   e.lastRet,
 		Plans:         e.plans,
 		DeltaVariants: e.variants,
+		Clones:        e.inst.CloneStats(),
 	}
 }
 
@@ -333,6 +346,7 @@ func (e *Engine) Assert(delta *instance.Instance) (AssertStats, error) {
 	if err := e.validateBatch(delta, "assert"); err != nil {
 		return stats, err
 	}
+	clonesBefore := e.inst.CloneStats()
 	batch := map[string][]window{}
 	for _, name := range delta.Names() {
 		src := delta.Relation(name)
@@ -358,6 +372,7 @@ func (e *Engine) Assert(delta *instance.Instance) (AssertStats, error) {
 	if stats.Asserted == 0 {
 		// The all-skipped fast path allocates no maintenance state.
 		stats.StrataSkipped = len(e.prep.strata)
+		stats.Clones = e.inst.CloneStats().Sub(clonesBefore)
 		e.asserts++
 		e.last = stats
 		return stats, nil
@@ -377,6 +392,7 @@ func (e *Engine) Assert(delta *instance.Instance) (AssertStats, error) {
 	stats.Plans = m.planStats
 	e.plans.add(m.planStats)
 	e.compactTombstoned()
+	stats.Clones = e.inst.CloneStats().Sub(clonesBefore)
 	e.asserts++
 	e.last = stats
 	return stats, nil
@@ -404,6 +420,7 @@ func (e *Engine) Retract(delta *instance.Instance) (RetractStats, error) {
 	if err := e.validateBatch(delta, "retract"); err != nil {
 		return stats, err
 	}
+	clonesBefore := e.inst.CloneStats()
 	batch := map[string]*instance.Relation{}
 	for _, name := range delta.Names() {
 		src := delta.Relation(name)
@@ -444,6 +461,7 @@ func (e *Engine) Retract(delta *instance.Instance) (RetractStats, error) {
 	if stats.Retracted == 0 {
 		// The all-skipped fast path allocates no maintenance state.
 		stats.StrataSkipped = len(e.prep.strata)
+		stats.Clones = e.inst.CloneStats().Sub(clonesBefore)
 		e.retracts++
 		e.lastRet = stats
 		return stats, nil
@@ -466,6 +484,7 @@ func (e *Engine) Retract(delta *instance.Instance) (RetractStats, error) {
 	stats.Plans = m.planStats
 	e.plans.add(m.planStats)
 	e.compactTombstoned()
+	stats.Clones = e.inst.CloneStats().Sub(clonesBefore)
 	e.retracts++
 	e.lastRet = stats
 	return stats, nil

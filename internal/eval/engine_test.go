@@ -538,3 +538,136 @@ func TestEngineIncrementalIsDeltaDriven(t *testing.T) {
 		t.Fatalf("stats = %+v, want exactly 65 new closure facts", stats)
 	}
 }
+
+// TestEngineEpochHammerWithRetracts extends the serving -race story to
+// the full write mix: snapshot readers pinned to their epoch's
+// watermark keep probing (membership, lazy exact-index builds, full
+// tombstone-view scans) while the writer cycles assert and retract
+// epochs — retracts tombstone shared storage behind the Ensure
+// barrier, and the engine's post-retract compaction rewrites chunks.
+// Every reader must see exactly its epoch's closure, bit for bit,
+// until the end.
+func TestEngineEpochHammerWithRetracts(t *testing.T) {
+	q, _ := queries.Get("reachability")
+	prep, err := Compile(q.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(prep, chainEDB(0, 16), Limits{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	hold := make(chan struct{})
+	for epoch := 0; epoch < 24; epoch++ {
+		snap, err := e.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(snap *instance.Instance, seed int64) {
+			defer wg.Done()
+			tr := snap.Relation("T")
+			want := tr.Len()
+			rng := rand.New(rand.NewSource(seed))
+			<-hold // maximize overlap with later write epochs
+			for round := 0; round < 12; round++ {
+				if tr.Len() != want {
+					panic("snapshot closure size drifted")
+				}
+				live := 0
+				for pos := 0; pos < tr.Size(); pos++ {
+					if tr.Live(pos) {
+						live++
+					}
+				}
+				if live != want {
+					panic("snapshot tombstone view drifted")
+				}
+				for k := 0; k < 4; k++ {
+					probe := tr.TupleAt(rng.Intn(tr.Size()))
+					if tr.Live(tr.PositionHashed(probe.Hash(), probe)) != tr.Contains(probe) {
+						panic("position/membership disagree on the snapshot")
+					}
+					if len(tr.Index(0).Lookup(probe[0])) == 0 && tr.Contains(probe) {
+						panic("lazy index lost a live snapshot tuple")
+					}
+				}
+			}
+		}(snap, int64(epoch))
+
+		// Alternate write epochs: grow the chain, then retract the
+		// newest edges again (DRed + tombstones + compaction).
+		lo := 16 + epoch*4
+		if _, err := e.Assert(chainEDB(lo, lo+4)); err != nil {
+			t.Fatal(err)
+		}
+		if epoch%3 == 2 {
+			if _, err := e.Retract(chainEDB(lo+2, lo+4)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Assert(chainEDB(lo+2, lo+4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(hold)
+	wg.Wait()
+
+	st := e.Stats()
+	if st.Clones.BarrierClones == 0 || st.Clones.SharedChunks == 0 {
+		t.Fatalf("epochs must have exercised the write barrier: %+v", st.Clones)
+	}
+	want, err := prep.Eval(chainEDB(0, 16+24*4), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustSnapshot(t, e); !got.Equal(want) {
+		t.Fatal(instance.Diff(got, want))
+	}
+}
+
+// TestEngineCloneTelemetry pins the per-call clone counters: the first
+// write after a snapshot pays barrier clones, the same write without an
+// intervening snapshot pays none, and the engine totals accumulate.
+func TestEngineCloneTelemetry(t *testing.T) {
+	q, _ := queries.Get("reachability")
+	prep, err := Compile(q.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(prep, chainEDB(0, 8), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Assert(chainEDB(8, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Clones.BarrierClones == 0 {
+		t.Fatalf("first write after a snapshot must clone: %+v", stats.Clones)
+	}
+	stats, err = e.Assert(chainEDB(9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Clones.BarrierClones != 0 {
+		t.Fatalf("write without an intervening snapshot must not clone: %+v", stats.Clones)
+	}
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	rstats, err := e.Retract(chainEDB(9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Clones.BarrierClones == 0 {
+		t.Fatalf("first retract after a snapshot must clone: %+v", rstats.Clones)
+	}
+	if tot := e.Stats().Clones; tot.BarrierClones < stats.Clones.BarrierClones+rstats.Clones.BarrierClones {
+		t.Fatalf("engine totals must accumulate per-call deltas: %+v", tot)
+	}
+}

@@ -72,9 +72,8 @@ type Replayer struct {
 
 // Restore compiles src and installs a fresh engine over edb (nil for
 // empty), replacing any previous engine. It is both the checkpoint
-// entry point (src + the checkpointed EDB) and the handler for logged
-// load records (empty EDB): loading is a reset, exactly as in the live
-// protocol.
+// entry point (src + the checkpointed EDB) and the foundation of Load,
+// which carries the previous engine's EDB forward.
 func (r *Replayer) Restore(src string, edb *instance.Instance) error {
 	prog, _, err := parser.ParseProgramForAnalysis(src)
 	if err != nil {
@@ -92,9 +91,41 @@ func (r *Replayer) Restore(src string, edb *instance.Instance) error {
 	return nil
 }
 
-// Load replays a logged load record: a reset to a fresh engine with an
-// empty EDB.
-func (r *Replayer) Load(src string) error { return r.Restore(src, nil) }
+// Load replays a logged load record: a program (re)load that carries
+// the current fact base over, exactly as the live protocol does — see
+// LoadCarry. Keeping the carry in this shared path is what keeps WAL
+// recovery equivalent to the acked live history: an OpLoad record
+// stores only the program text, and both sides reconstruct the carried
+// EDB from the engine state the preceding records produced.
+func (r *Replayer) Load(src string) error {
+	_, err := r.LoadCarry(src)
+	return err
+}
+
+// LoadCarry installs a fresh engine for src seeded with the previous
+// engine's EDB snapshot (its non-IDB relations plus frozen IDB seeds):
+// a program upgrade keeps the live fact base instead of dropping it.
+// With no previous healthy engine the load starts empty. It returns
+// the number of facts carried over. Snapshots share storage with the
+// old engine, so the carry itself copies no tuples; on any error
+// (parse, compile, initial fixpoint — e.g. an arity clash between the
+// new program and a carried relation) the previous engine stays
+// installed and serving.
+func (r *Replayer) LoadCarry(src string) (int, error) {
+	var edb *instance.Instance
+	carried := 0
+	if r.eng != nil && r.eng.Err() == nil {
+		snap, err := r.eng.EDBSnapshot()
+		if err != nil {
+			return 0, err
+		}
+		edb, carried = snap, snap.Facts()
+	}
+	if err := r.Restore(src, edb); err != nil {
+		return 0, err
+	}
+	return carried, nil
+}
 
 // Assert replays a logged assert batch through incremental
 // maintenance.

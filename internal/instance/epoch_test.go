@@ -1,0 +1,293 @@
+package instance
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"seqlog/internal/value"
+)
+
+// These tests pin the epoch-sharing contract of the chunked tuple log:
+// sealed chunks are shared by pointer across the write barrier, the
+// partial tail is not, tombstones placed after a freeze never reach
+// older readers, and the whole arrangement is invisible to the codec.
+
+func fillSeq(i *Instance, name string, n int) {
+	for k := 0; k < n; k++ {
+		i.Add(name, tup(value.PathOf("t"+fmt.Sprint(k))))
+	}
+}
+
+func TestBarrierSharesSealedChunksCopiesTail(t *testing.T) {
+	i := New()
+	// Two sealed chunks plus a partial tail.
+	n := 2*chunkSize + chunkSize/2
+	fillSeq(i, "R", n)
+	snap := i.Snapshot()
+	frozen := snap.Relation("R")
+
+	i.Add("R", tup(value.PathOf("extra"))) // Ensure barrier fires here
+	clone := i.Relation("R")
+	if clone == frozen {
+		t.Fatal("write barrier must have replaced the frozen relation")
+	}
+	if clone.chunks[0] != frozen.chunks[0] || clone.chunks[1] != frozen.chunks[1] {
+		t.Fatal("sealed chunks must be shared by pointer across the barrier")
+	}
+	if clone.chunks[2] == frozen.chunks[2] {
+		t.Fatal("the partial tail chunk must be copied, not shared")
+	}
+	if frozen.Len() != n || clone.Len() != n+1 {
+		t.Fatalf("Len: frozen %d (want %d), clone %d (want %d)",
+			frozen.Len(), n, clone.Len(), n+1)
+	}
+
+	cs := i.CloneStats()
+	if cs.BarrierClones != 1 {
+		t.Fatalf("BarrierClones = %d, want 1", cs.BarrierClones)
+	}
+	if cs.SharedChunks != 2 {
+		t.Fatalf("SharedChunks = %d, want 2 (sealed chunks only)", cs.SharedChunks)
+	}
+	if cs.CloneBytes <= 0 {
+		t.Fatalf("CloneBytes = %d, want > 0 (tail copy)", cs.CloneBytes)
+	}
+}
+
+func TestBarrierAtChunkBoundarySharesEverything(t *testing.T) {
+	i := New()
+	fillSeq(i, "R", chunkSize) // exactly one sealed chunk, no tail
+	snap := i.Snapshot()
+	i.Add("R", tup(value.PathOf("extra")))
+	clone, frozen := i.Relation("R"), snap.Relation("R")
+	if clone.chunks[0] != frozen.chunks[0] {
+		t.Fatal("with no partial tail every chunk must be shared")
+	}
+	if cs := i.CloneStats(); cs.SharedChunks != 1 {
+		t.Fatalf("SharedChunks = %d, want 1", cs.SharedChunks)
+	}
+}
+
+func TestPostFreezeTombstonesInvisibleToSnapshot(t *testing.T) {
+	i := New()
+	n := chunkSize + 10
+	fillSeq(i, "R", n)
+	// A pre-freeze tombstone, so the snapshot inherits a dead page the
+	// writer's clone must path-copy rather than mutate in place.
+	i.Delete("R", tup(value.PathOf("t0")))
+	snap := i.Snapshot()
+
+	// Delete on the writer side: one hit in the same page as the
+	// pre-freeze tombstone, one in a page the snapshot never had.
+	i.Delete("R", tup(value.PathOf("t1")))
+	i.Delete("R", tup(value.PathOf("t"+fmt.Sprint(chunkSize+3))))
+
+	sr := snap.Relation("R")
+	if sr.Contains(tup(value.PathOf("t0"))) {
+		t.Fatal("pre-freeze tombstone must be visible to the snapshot")
+	}
+	for _, want := range []string{"t1", "t" + fmt.Sprint(chunkSize+3)} {
+		if !sr.Contains(tup(value.PathOf(want))) {
+			t.Fatalf("post-freeze tombstone on %s leaked into the snapshot", want)
+		}
+	}
+	if sr.Len() != n-1 {
+		t.Fatalf("snapshot Len = %d, want %d", sr.Len(), n-1)
+	}
+	if got := i.Relation("R").Len(); got != n-3 {
+		t.Fatalf("writer Len = %d, want %d", got, n-3)
+	}
+}
+
+func TestTombstoneIsolationAcrossManyEpochs(t *testing.T) {
+	// Chain of epochs: each snapshot must keep exactly the live set it
+	// was frozen with, regardless of later deletes and compactions.
+	i := New()
+	n := chunkSize + chunkSize/2
+	fillSeq(i, "R", n)
+	type epoch struct {
+		snap *Instance
+		want int
+	}
+	var epochs []epoch
+	for e := 0; e < 8; e++ {
+		epochs = append(epochs, epoch{i.Snapshot(), i.Relation("R").Len()})
+		i.Delete("R", tup(value.PathOf("t"+fmt.Sprint(e*7))))
+		if e == 4 {
+			i.Relation("R").Compact()
+		}
+	}
+	for e, ep := range epochs {
+		if got := ep.snap.Relation("R").Len(); got != ep.want {
+			t.Fatalf("epoch %d: Len = %d, want %d", e, got, ep.want)
+		}
+		for k := 0; k < n; k++ {
+			want := k%7 != 0 || k/7 >= e
+			if got := ep.snap.Relation("R").Contains(tup(value.PathOf("t" + fmt.Sprint(k)))); got != want {
+				t.Fatalf("epoch %d: Contains(t%d) = %t, want %t", e, k, got, want)
+			}
+		}
+	}
+}
+
+func TestShareOrFlattenPolicy(t *testing.T) {
+	// A gap below the absolute floor is inherited lazily (base shared
+	// by pointer); so is a gap below 1/16 of the covered prefix; a gap
+	// clearing both thresholds is flattened into a fresh base.
+	base := &postings{m: map[uint64][]int{}, n: 10_000, upto: 10_000}
+	for p := 0; p < 10_000; p++ {
+		base.m[uint64(p)] = []int{p}
+	}
+	small := map[uint64][]int{1: {10_000}}
+	if got, upto, _ := shareOrFlatten(base, small, 1, 10_001); got != base || upto != 10_000 {
+		t.Fatal("tiny gap must share the base and keep its watermark")
+	}
+	// 500 new positions: over the absolute floor but under 10000/16.
+	if got, _, _ := shareOrFlatten(base, small, 1, 10_500); got != base {
+		t.Fatal("gap under 1/16 of covered must still share")
+	}
+	// 700 new positions over a 10000 prefix: both triggers cleared.
+	big := map[uint64][]int{}
+	for p := 10_000; p < 10_700; p++ {
+		big[uint64(p)] = []int{p}
+	}
+	got, upto, bytes := shareOrFlatten(base, big, 700, 10_700)
+	if got == base {
+		t.Fatal("large gap must flatten into a fresh base")
+	}
+	if upto != 10_700 || got.upto != 10_700 {
+		t.Fatalf("flattened watermark = %d, want 10700", upto)
+	}
+	if bytes <= 0 {
+		t.Fatal("a flatten must report copied bytes")
+	}
+}
+
+func TestIndexBaseSharedAcrossBarrier(t *testing.T) {
+	i := New()
+	for k := 0; k < chunkSize; k++ {
+		i.Add("E", tup(value.PathOf("a"+fmt.Sprint(k%16)), value.PathOf("b"+fmt.Sprint(k))))
+	}
+	// Build and fully absorb an exact index and a prefix lookup before
+	// freezing, so the clone has non-nil bases to inherit.
+	i.Relation("E").Index(0).CatchUp()
+	i.Relation("E").PrefixLookup(0, value.PathOf("a1"))
+	snap := i.Snapshot()
+	i.Add("E", tup(value.PathOf("a1"), value.PathOf("fresh")))
+	clone := i.Relation("E")
+
+	if got := len(clone.Index(0).Lookup(value.PathOf("a1"))); got != chunkSize/16+1 {
+		t.Fatalf("clone index sees %d a1 rows, want %d", got, chunkSize/16+1)
+	}
+	if got := len(snap.Relation("E").Index(0).Lookup(value.PathOf("a1"))); got != chunkSize/16 {
+		t.Fatalf("snapshot index sees %d a1 rows, want %d", got, chunkSize/16)
+	}
+	if got := len(clone.PrefixLookup(0, value.PathOf("a1"))); got != chunkSize/16+1 {
+		t.Fatalf("clone prefix lookup sees %d rows, want %d", got, chunkSize/16+1)
+	}
+}
+
+func TestCodecAgnosticToSharing(t *testing.T) {
+	// The binary encoding of a shared-chunk, tombstoned snapshot must
+	// equal the encoding of its compacted deep clone: chunk layout and
+	// tombstone pages are storage artifacts, not data.
+	i := New()
+	n := 2*chunkSize + 37
+	fillSeq(i, "X", n)
+	for k := 0; k < n; k += 5 {
+		i.Delete("X", tup(value.PathOf("t"+fmt.Sprint(k))))
+	}
+	snap := i.Snapshot()
+	// Keep writing so the snapshot's storage really is shared with a
+	// diverged sibling when it encodes.
+	i.Delete("X", tup(value.PathOf("t1")))
+	fillSeq(i, "X", n+chunkSize)
+
+	compacted := New()
+	compacted.Put("X", snap.Relation("X").Clone()) // deep, compacted copy
+	enc := snap.AppendBinary(nil)
+	if want := compacted.AppendBinary(nil); !bytes.Equal(enc, want) {
+		t.Fatal("shared-chunk snapshot must encode identically to its compacted clone")
+	}
+
+	dec, rest, err := DecodeInstance(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: err=%v rest=%d", err, len(rest))
+	}
+	if !dec.Relation("X").Equal(snap.Relation("X")) {
+		t.Fatal("decoded instance differs from the encoded snapshot")
+	}
+}
+
+// TestEpochHammer drives concurrent snapshot readers — membership,
+// exact-index, and prefix probes, all of which lazily absorb under the
+// watermark protocol — against a writer cycling assert/retract/Compact
+// epochs. Run with -race in CI: the assertions matter, but the
+// schedule coverage is the point.
+func TestEpochHammer(t *testing.T) {
+	i := New()
+	base := 2 * chunkSize
+	for k := 0; k < base; k++ {
+		i.Add("R", tup(value.PathOf("k"+fmt.Sprint(k%32)), value.PathOf("v"+fmt.Sprint(k))))
+	}
+
+	const epochs = 40
+	var wg sync.WaitGroup
+	for e := 0; e < epochs; e++ {
+		snap := i.Snapshot()
+		want := snap.Relation("R").Len()
+		wg.Add(1)
+		go func(snap *Instance, want, seed int) {
+			defer wg.Done()
+			r := snap.Relation("R")
+			rng := rand.New(rand.NewSource(int64(seed)))
+			for round := 0; round < 20; round++ {
+				if got := r.Len(); got != want {
+					panic(fmt.Sprintf("snapshot Len drifted: %d -> %d", want, got))
+				}
+				key := value.PathOf("k" + fmt.Sprint(rng.Intn(32)))
+				for _, pos := range r.Index(0).Lookup(key) {
+					if !r.Live(pos) {
+						panic("index handed out a dead position")
+					}
+					if !r.TupleAt(pos)[0].Equal(key) {
+						panic("index handed out a mismatched position")
+					}
+				}
+				for _, pos := range r.PrefixLookup(0, key) {
+					if !r.Live(pos) {
+						panic("prefix index handed out a dead position")
+					}
+				}
+				live := 0
+				for pos := 0; pos < r.Size(); pos++ {
+					if r.Live(pos) {
+						live++
+					}
+				}
+				if live != want {
+					panic(fmt.Sprintf("tombstone view drifted: %d live, want %d", live, want))
+				}
+			}
+		}(snap, want, e)
+
+		// Writer epoch: fresh asserts, some retracts, periodic Compact.
+		for k := 0; k < 64; k++ {
+			i.Add("R", tup(value.PathOf("k"+fmt.Sprint(k%32)), value.PathOf(fmt.Sprintf("e%d_%d", e, k))))
+		}
+		for k := 0; k < 16; k++ {
+			i.Delete("R", tup(value.PathOf("k"+fmt.Sprint(k%32)), value.PathOf(fmt.Sprintf("e%d_%d", e, k))))
+		}
+		if e%7 == 6 {
+			i.Relation("R").Compact()
+		}
+	}
+	wg.Wait()
+
+	if cs := i.CloneStats(); cs.BarrierClones < epochs {
+		t.Fatalf("BarrierClones = %d, want >= %d (one per epoch)", cs.BarrierClones, epochs)
+	}
+}

@@ -68,27 +68,143 @@ func (t Tuple) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
+// The tuple log is chunked: positions pos map to
+// chunks[pos>>chunkShift] at offset pos&chunkMask. A chunk that has
+// reached chunkSize entries is sealed — it is never written again, so
+// any number of relation epochs can share it by pointer. Only the
+// partial tail chunk of an unfrozen relation is ever appended to, and
+// the copy-on-write barrier (cloneShared) always gives the clone a
+// private copy of a partial tail, so a shared chunk is immutable by
+// construction.
+const (
+	chunkShift = 8
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
+// chunk is one block of the append-only tuple log: up to chunkSize
+// tuples plus their precomputed structural hashes. The slices grow
+// together (len(hashes) == len(tuples)), so small relations pay for
+// the tuples they hold, not for a full block.
+type chunk struct {
+	tuples []Tuple
+	hashes []uint64
+}
+
+// deadPage is the tombstone bitmap for one chunk: bit off marks
+// position (chunkIndex<<chunkShift)|off dead. Pages are copy-on-write
+// across epochs — a relation may only set bits in pages it owns
+// (deadOwned), so tombstones placed after a freeze never become
+// visible to older snapshots sharing the same chunks.
+type deadPage [chunkSize / 64]uint64
+
+func (p *deadPage) get(off int) bool { return p[off>>6]&(1<<(off&63)) != 0 }
+func (p *deadPage) set(off int)      { p[off>>6] |= 1 << (off & 63) }
+
+// postings is an immutable hash → ascending tuple-log positions table
+// covering positions [0, upto). Once published (installed as the base
+// of a membership or secondary index) a postings is never mutated:
+// epochs extend it with private overlays and occasionally flatten
+// base+overlay into a fresh postings at the write barrier. Buckets may
+// be shared between generations of postings, so they are read-only
+// too.
+type postings struct {
+	m    map[uint64][]int
+	n    int // total entries, for sizing the next flatten
+	upto int // positions [0, upto) are covered
+}
+
+// flattenThreshold bounds the position gap an epoch clone is willing
+// to inherit lazily: at the write barrier an index whose base trails
+// the absorbed watermark by fewer positions is shared as (base,
+// re-absorb the small gap); a larger gap is flattened into a fresh
+// immutable base — but only once the gap is also a constant fraction
+// of the covered positions (shareOrFlatten), so flattening is
+// amortized O(1) per appended tuple however fast the relation grows.
+// The owner of an unfrozen relation never flattens — its overlay just
+// grows, like a plain hash index — so the uncontended write path is
+// untouched.
+const flattenThreshold = 256
+
+// flattenPostings builds a fresh immutable postings from a base (may
+// be nil) plus an overlay covering [base.upto, upto). Base buckets
+// that the overlay does not extend are shared; extended or new buckets
+// are freshly allocated, so the result never aliases a slice that some
+// other epoch may still append to.
+func flattenPostings(base *postings, over map[uint64][]int, overCount, upto int) *postings {
+	baseN, baseBuckets := 0, 0
+	if base != nil {
+		baseN, baseBuckets = base.n, len(base.m)
+	}
+	m := make(map[uint64][]int, baseBuckets+len(over))
+	if base != nil {
+		for h, bucket := range base.m {
+			if ovb, ok := over[h]; ok {
+				merged := make([]int, 0, len(bucket)+len(ovb))
+				merged = append(merged, bucket...)
+				merged = append(merged, ovb...)
+				m[h] = merged
+			} else {
+				m[h] = bucket
+			}
+		}
+	}
+	for h, ovb := range over {
+		if _, ok := m[h]; ok {
+			continue
+		}
+		m[h] = append([]int(nil), ovb...)
+	}
+	return &postings{m: m, n: baseN + overCount, upto: upto}
+}
+
+// memberIndex is the relation's built-in full-tuple membership index in
+// epoch-shared form: an immutable base shared across snapshot
+// generations plus a private overlay for positions appended (or
+// absorbed) since. upto is published atomically so caught-up probes
+// skip the lock.
+type memberIndex struct {
+	base      *postings
+	over      map[uint64][]int
+	overCount int
+	upto      atomic.Int64
+}
+
 // Relation is a finite n-ary relation on paths with set semantics and
 // deterministic iteration order (insertion order; Sorted() for canonical
 // order).
+//
+// Storage is an epoch-shared append-only tuple log: fixed-capacity
+// chunks of tuples plus precomputed hashes, shared by pointer between
+// a relation and every snapshot taken of it. A snapshot epoch is
+// identified by (chunk list, length watermark, tombstone view): the
+// copy-on-write barrier (Instance.Ensure on a frozen relation) copies
+// only the chunk pointer slice, the partial tail chunk and the
+// tombstone page pointers — O(size/chunkSize), not O(size) — and the
+// clone appends to a fresh tail while older readers keep iterating
+// their own watermark over the shared sealed chunks.
 //
 // Membership is maintained through a built-in full-tuple hash index:
 // each tuple's structural hash is computed once on Add and reused by
 // Contains, Equal and Clone. Secondary indexes over column projections
 // (Index), column prefixes (PrefixLookup) and column suffixes
 // (SuffixLookup) are built lazily on first lookup and caught up after
-// later Adds, so they are never stale.
+// later Adds, so they are never stale. All of these share their bulk
+// across epochs the same way the tuple log is shared: an immutable
+// base postings plus a small private overlay, flattened at the write
+// barrier only when the overlay has grown past flattenThreshold.
 //
 // Deletion is tombstone-based: Delete marks the tuple's position dead
-// and removes it from the membership index, but the position itself
-// stays occupied so that delta windows over the tuple log ([lo, hi)
-// position ranges handed out while the relation was larger) remain
-// valid. Live reports whether a position still holds a fact; Len counts
-// live tuples while Size is the position high-water mark including
-// tombstones. Tombstones are reclaimed by Compact (in place) or Clone
-// (the copy is always compacted); the copy-on-write clone used by
-// Instance.Ensure deliberately preserves positions instead, so
-// maintenance windows survive the write barrier.
+// in a copy-on-write bitmap page, but the position itself stays
+// occupied so that delta windows over the tuple log ([lo, hi) position
+// ranges handed out while the relation was larger) remain valid. Pages
+// are path-copied on first write after a barrier, so a tombstone set
+// after a freeze is invisible to every older reader — epochs never
+// leak deletions backwards. Live reports whether a position still
+// holds a fact; Len counts live tuples while Size is the position
+// high-water mark including tombstones. Tombstones are reclaimed by
+// Compact (which rewrites into fresh chunks, never touching shared
+// ones — the epoch fence) or Clone (the copy is always compacted).
 //
 // Concurrency contract: a Relation is safe for any number of
 // concurrent readers as long as no writer runs at the same time. The
@@ -108,30 +224,40 @@ func (t Tuple) String() string {
 // be shared with snapshots (Instance.Snapshot) while the owning
 // instance continues under copy-on-write via Ensure.
 type Relation struct {
-	Arity   int
-	buckets map[uint64][]int // tuple hash -> positions (collision buckets)
-	tuples  []Tuple
-	hashes  []uint64 // hashes[i] is the precomputed tuples[i].Hash()
+	Arity int
 
-	// dead[i] marks position i tombstoned (nil until the first Delete;
-	// kept in step with tuples afterwards); tombs counts the dead
-	// positions, so Live's fast path is a single integer check.
-	dead  []bool
-	tombs int
+	// chunks is the tuple log; size is this epoch's length watermark.
+	// Invariant: len(chunks) == ceil(size/chunkSize), and a partial
+	// tail chunk is exclusively owned by this (unfrozen) relation.
+	chunks []*chunk
+	size   int
+
+	// dead holds one tombstone page per chunk (nil page or a slice
+	// shorter than chunks: no tombstones there); deadOwned[i] reports
+	// whether page i may be written in place or must be path-copied
+	// first (it was inherited from a frozen parent). tombs counts the
+	// dead positions, so Live's fast path is a single integer check.
+	dead      []*deadPage
+	deadOwned []bool
+	tombs     int
+
+	// member is the built-in membership index in base+overlay form.
+	member memberIndex
 
 	// frozen marks the relation copy-on-write: its tuple storage is
 	// shared with at least one snapshot and must never be written again.
 	// Add paths panic on a frozen relation; Instance.Ensure transparently
-	// replaces a frozen relation with an unfrozen clone before handing it
-	// to a writer. Lazy secondary-index builds remain allowed — they are
-	// internally synchronized and do not touch tuple storage — so any
-	// number of snapshot readers and cloning writers can proceed
-	// concurrently.
+	// replaces a frozen relation with an unfrozen epoch clone before
+	// handing it to a writer. Lazy secondary-index builds remain allowed
+	// — they are internally synchronized and do not touch tuple storage
+	// — so any number of snapshot readers and cloning writers can
+	// proceed concurrently.
 	frozen atomic.Bool
 
-	// mu guards creation of secondary indexes (the maps below) and the
-	// build step that absorbs pending tuples into one; see the
-	// concurrency contract above.
+	// mu guards creation of secondary indexes (the maps below), the
+	// build step that absorbs pending tuples into one (membership
+	// included), and the barrier's read of their base/overlay state;
+	// see the concurrency contract above.
 	mu       sync.RWMutex
 	indexes  map[string]*Index
 	prefixes map[prefixKey]*prefixIndex
@@ -140,7 +266,7 @@ type Relation struct {
 
 // NewRelation creates an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
-	return &Relation{Arity: arity, buckets: map[uint64][]int{}}
+	return &Relation{Arity: arity}
 }
 
 // Freeze marks the relation copy-on-write: every write from now on
@@ -153,12 +279,79 @@ func (r *Relation) Freeze() { r.frozen.Store(true) }
 // Frozen reports whether the relation has been frozen.
 func (r *Relation) Frozen() bool { return r.frozen.Load() }
 
-// lookupHashed returns the position of a tuple equal to t whose hash is
-// h, or -1.
+// tupleAt and hashAt read the tuple log by position.
+func (r *Relation) tupleAt(pos int) Tuple { return r.chunks[pos>>chunkShift].tuples[pos&chunkMask] }
+func (r *Relation) hashAt(pos int) uint64 { return r.chunks[pos>>chunkShift].hashes[pos&chunkMask] }
+
+// appendTuple appends to the tail chunk, sealing it and opening a
+// fresh one at the chunkSize boundary. Caller is the exclusive writer.
+func (r *Relation) appendTuple(h uint64, t Tuple) {
+	ci := r.size >> chunkShift
+	if ci == len(r.chunks) {
+		// The tail's slices grow by appending: the maintenance paths
+		// create many short-lived window relations holding a handful of
+		// tuples, and pre-sizing every chunk would charge each of them
+		// for a full chunk's backing.
+		r.chunks = append(r.chunks, &chunk{})
+	}
+	c := r.chunks[ci]
+	c.tuples = append(c.tuples, t)
+	c.hashes = append(c.hashes, h)
+	r.size++
+}
+
+// catchUpMember absorbs every appended position into the membership
+// overlay, under the same synchronization scheme as Index.CatchUp. The
+// owning writer keeps membership caught up inline (recordMember), so
+// this only does work on the first probe of a freshly cloned epoch —
+// and the gap it absorbs is bounded by flattenThreshold, because the
+// barrier flattens anything larger. Hashes come straight from the
+// chunks; nothing is rehashed.
+func (r *Relation) catchUpMember() {
+	n := r.size
+	if int(r.member.upto.Load()) >= n {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.member.over == nil {
+		r.member.over = map[uint64][]int{}
+	}
+	for i := int(r.member.upto.Load()); i < n; i++ {
+		h := r.hashAt(i)
+		r.member.over[h] = append(r.member.over[h], i)
+		r.member.overCount++
+	}
+	r.member.upto.Store(int64(n))
+}
+
+// recordMember registers a freshly appended position in the membership
+// overlay. Caller is the exclusive writer and has already caught up.
+func (r *Relation) recordMember(h uint64, pos int) {
+	if r.member.over == nil {
+		r.member.over = map[uint64][]int{}
+	}
+	r.member.over[h] = append(r.member.over[h], pos)
+	r.member.overCount++
+	r.member.upto.Store(int64(pos + 1))
+}
+
+// lookupHashed returns the position of the live tuple equal to t whose
+// hash is h, or -1. Both the shared base and the private overlay are
+// probed; dead positions are skipped, so a tuple deleted and re-added
+// resolves to its live position.
 func (r *Relation) lookupHashed(h uint64, t Tuple) int {
-	for _, i := range r.buckets[h] {
-		if r.tuples[i].Equal(t) {
-			return i
+	r.catchUpMember()
+	if b := r.member.base; b != nil {
+		for _, pos := range b.m[h] {
+			if r.Live(pos) && r.tupleAt(pos).Equal(t) {
+				return pos
+			}
+		}
+	}
+	for _, pos := range r.member.over[h] {
+		if r.Live(pos) && r.tupleAt(pos).Equal(t) {
+			return pos
 		}
 	}
 	return -1
@@ -184,12 +377,8 @@ func (r *Relation) AddHashed(h uint64, t Tuple) bool {
 	if r.lookupHashed(h, t) >= 0 {
 		return false
 	}
-	r.buckets[h] = append(r.buckets[h], len(r.tuples))
-	r.tuples = append(r.tuples, t)
-	r.hashes = append(r.hashes, h)
-	if r.dead != nil {
-		r.dead = append(r.dead, false)
-	}
+	r.appendTuple(h, t)
+	r.recordMember(h, r.size-1)
 	return true
 }
 
@@ -216,39 +405,62 @@ func (r *Relation) DeleteHashed(h uint64, t Tuple) bool {
 	if pos < 0 {
 		return false
 	}
-	// Drop the position from its membership bucket so Contains and
-	// lookupHashed never see it again; secondary indexes keep the
-	// position and filter it via Live at lookup time.
-	bucket := r.buckets[h]
-	for k, p := range bucket {
-		if p == pos {
-			if len(bucket) == 1 {
-				delete(r.buckets, h)
-			} else {
-				r.buckets[h] = append(bucket[:k], bucket[k+1:]...)
-			}
-			break
-		}
-	}
-	if r.dead == nil {
-		r.dead = make([]bool, len(r.tuples))
-	}
-	r.dead[pos] = true
-	r.tombs++
+	r.tombstone(pos)
 	return true
 }
 
+// tombstone marks pos dead on this epoch's tombstone view. A page
+// inherited from a frozen parent is path-copied before the first bit
+// is set, so older watermarked readers sharing the original page never
+// observe the deletion.
+func (r *Relation) tombstone(pos int) {
+	pi := pos >> chunkShift
+	if pi >= len(r.dead) {
+		grown := make([]*deadPage, len(r.chunks))
+		copy(grown, r.dead)
+		grownOwned := make([]bool, len(r.chunks))
+		copy(grownOwned, r.deadOwned)
+		r.dead, r.deadOwned = grown, grownOwned
+	}
+	pg := r.dead[pi]
+	switch {
+	case pg == nil:
+		pg = &deadPage{}
+		r.dead[pi], r.deadOwned[pi] = pg, true
+	case !r.deadOwned[pi]:
+		cp := *pg
+		pg = &cp
+		r.dead[pi], r.deadOwned[pi] = pg, true
+	}
+	pg.set(pos & chunkMask)
+	r.tombs++
+}
+
 // Live reports whether the tuple at position pos has not been deleted.
-func (r *Relation) Live(pos int) bool { return r.tombs == 0 || !r.dead[pos] }
+func (r *Relation) Live(pos int) bool {
+	if r.tombs == 0 {
+		return true
+	}
+	pi := pos >> chunkShift
+	if pi >= len(r.dead) {
+		return true
+	}
+	pg := r.dead[pi]
+	return pg == nil || !pg.get(pos&chunkMask)
+}
 
 // Tombstones returns the number of tombstoned positions (Size - Len).
 func (r *Relation) Tombstones() int { return r.tombs }
 
-// Compact reclaims tombstoned positions in place: live tuples are
-// renumbered densely and every secondary index is dropped (they rebuild
-// lazily on next use). Positions change, so callers holding delta
-// windows or Index handles must not call Compact while they are in
-// flight; the engine compacts only between maintenance runs.
+// Compact reclaims tombstoned positions: live tuples are renumbered
+// densely into fresh chunks and every secondary index is dropped (they
+// rebuild lazily on next use). The old chunks are never touched — they
+// may be shared with older snapshot epochs, which keep reading them
+// unchanged; compaction is the epoch fence that stops referencing
+// shared storage rather than rewriting it. Positions change, so
+// callers holding delta windows or Index handles must not call Compact
+// while they are in flight; the engine compacts only between
+// maintenance runs.
 func (r *Relation) Compact() {
 	if r.tombs == 0 {
 		return
@@ -256,20 +468,29 @@ func (r *Relation) Compact() {
 	if r.frozen.Load() {
 		panic("instance: compaction of a frozen relation (snapshot-shared storage)")
 	}
-	tuples := make([]Tuple, 0, len(r.tuples)-r.tombs)
-	hashes := make([]uint64, 0, len(r.tuples)-r.tombs)
-	buckets := make(map[uint64][]int, len(r.buckets))
-	for i, t := range r.tuples {
-		if r.dead[i] {
+	old := r.chunks
+	oldSize := r.size
+	r.chunks, r.size = nil, 0
+	m := make(map[uint64][]int, oldSize-r.tombs)
+	for pos := 0; pos < oldSize; pos++ {
+		pg := (*deadPage)(nil)
+		if pi := pos >> chunkShift; pi < len(r.dead) {
+			pg = r.dead[pi]
+		}
+		if pg != nil && pg.get(pos&chunkMask) {
 			continue
 		}
-		h := r.hashes[i]
-		buckets[h] = append(buckets[h], len(tuples))
-		tuples = append(tuples, t)
-		hashes = append(hashes, h)
+		c := old[pos>>chunkShift]
+		h := c.hashes[pos&chunkMask]
+		r.appendTuple(h, c.tuples[pos&chunkMask])
+		m[h] = append(m[h], r.size-1)
 	}
-	r.tuples, r.hashes, r.buckets = tuples, hashes, buckets
-	r.dead, r.tombs = nil, 0
+	r.dead, r.deadOwned, r.tombs = nil, nil, 0
+	// The rebuilt membership becomes an immutable base: the next write
+	// barrier shares it for free instead of flattening the whole map.
+	r.member.base = &postings{m: m, n: r.size, upto: r.size}
+	r.member.over, r.member.overCount = nil, 0
+	r.member.upto.Store(int64(r.size))
 	r.mu.Lock()
 	r.indexes, r.prefixes, r.suffixes = nil, nil, nil
 	r.mu.Unlock()
@@ -299,7 +520,7 @@ func (r *Relation) PositionHashed(h uint64, t Tuple) int {
 // HashAt returns the precomputed hash of the tuple at insertion
 // position i, so bulk consumers (the parallel evaluator's round merge)
 // can re-insert tuples elsewhere without rehashing them.
-func (r *Relation) HashAt(i int) uint64 { return r.hashes[i] }
+func (r *Relation) HashAt(i int) uint64 { return r.hashAt(i) }
 
 // AddFromScratch inserts a copy of the scratch tuple t (whose hash h
 // must equal t.Hash()) when no equal tuple is present, reporting
@@ -316,12 +537,8 @@ func (r *Relation) AddFromScratch(h uint64, t Tuple) bool {
 	if r.lookupHashed(h, t) >= 0 {
 		return false
 	}
-	r.buckets[h] = append(r.buckets[h], len(r.tuples))
-	r.tuples = append(r.tuples, CopyTuple(t))
-	r.hashes = append(r.hashes, h)
-	if r.dead != nil {
-		r.dead = append(r.dead, false)
-	}
+	r.appendTuple(h, CopyTuple(t))
+	r.recordMember(h, r.size-1)
 	return true
 }
 
@@ -347,29 +564,27 @@ func CopyTuple(t Tuple) Tuple {
 }
 
 // Len returns the number of live tuples (the relation's cardinality).
-func (r *Relation) Len() int { return len(r.tuples) - r.tombs }
+func (r *Relation) Len() int { return r.size - r.tombs }
 
 // Size returns the position high-water mark of the tuple log,
-// tombstones included. Delta windows and position-based iteration
+// tombstones included — this epoch's length watermark over the shared
+// chunks. Delta windows and position-based iteration
 // (TupleAt/HashAt/Live) range over [0, Size); Size equals Len whenever
 // nothing was deleted since the last compaction.
-func (r *Relation) Size() int { return len(r.tuples) }
+func (r *Relation) Size() int { return r.size }
 
-// Tuples returns the live tuples in insertion order. With no
-// tombstones the slice is shared (callers must not mutate it) and,
-// relations then being append-only, ranging over it while concurrently
-// Adding is safe and iterates a consistent snapshot. With tombstones
-// present a filtered copy is returned, and indexes into it do NOT
-// correspond to tuple-log positions — use Size/Live/TupleAt/HashAt for
-// position-based iteration.
+// Tuples returns the live tuples in insertion order as a freshly
+// materialized slice: the chunked log has no contiguous backing to
+// share. Indexes into it do NOT correspond to tuple-log positions when
+// tombstones are present — use Size/Live/TupleAt/HashAt for
+// position-based iteration, which also avoids the O(n) materialization
+// on hot paths. Ranging over the result while concurrently Adding is
+// safe and iterates the snapshot taken at call time.
 func (r *Relation) Tuples() []Tuple {
-	if r.tombs == 0 {
-		return r.tuples
-	}
 	out := make([]Tuple, 0, r.Len())
-	for i, t := range r.tuples {
-		if !r.dead[i] {
-			out = append(out, t)
+	for pos := 0; pos < r.size; pos++ {
+		if r.Live(pos) {
+			out = append(out, r.tupleAt(pos))
 		}
 	}
 	return out
@@ -380,78 +595,137 @@ func (r *Relation) Tuples() []Tuple {
 // [lo, hi) with TupleAt, skipping tombstones via Live; there is
 // deliberately no slice accessor over a position range, because such
 // a slice would silently include deleted tuples.
-func (r *Relation) TupleAt(i int) Tuple { return r.tuples[i] }
+func (r *Relation) TupleAt(i int) Tuple { return r.tupleAt(i) }
 
 // Sorted returns the live tuples in canonical order.
 func (r *Relation) Sorted() []Tuple {
-	out := make([]Tuple, 0, r.Len())
-	for i, t := range r.tuples {
-		if r.tombs != 0 && r.dead[i] {
-			continue
-		}
-		out = append(out, t)
-	}
+	out := r.Tuples()
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
 
 // Clone returns an independent, compacted copy of the relation:
 // tombstoned positions are dropped and live tuples renumbered densely.
-// The precomputed tuple hashes are reused, membership buckets are
-// copied (or rebuilt when compaction renumbers), and secondary indexes
-// are rebuilt lazily on the copy when first used.
+// The precomputed tuple hashes are reused and the membership index is
+// rebuilt as an immutable base (cheap to share at the next write
+// barrier); secondary indexes rebuild lazily on the copy when first
+// used. Nothing is shared with the original except the tuples
+// themselves, which are immutable.
 func (r *Relation) Clone() *Relation {
-	if r.tombs != 0 {
-		out := NewRelation(r.Arity)
-		out.tuples = make([]Tuple, 0, r.Len())
-		out.hashes = make([]uint64, 0, r.Len())
-		for i, t := range r.tuples {
-			if r.dead[i] {
-				continue
-			}
-			h := r.hashes[i]
-			out.buckets[h] = append(out.buckets[h], len(out.tuples))
-			out.tuples = append(out.tuples, t)
-			out.hashes = append(out.hashes, h)
+	out := NewRelation(r.Arity)
+	m := make(map[uint64][]int, r.Len())
+	for pos := 0; pos < r.size; pos++ {
+		if !r.Live(pos) {
+			continue
 		}
-		return out
+		h := r.hashAt(pos)
+		out.appendTuple(h, r.tupleAt(pos))
+		m[h] = append(m[h], out.size-1)
 	}
-	out := &Relation{
-		Arity:   r.Arity,
-		buckets: make(map[uint64][]int, len(r.buckets)),
-		tuples:  make([]Tuple, len(r.tuples)),
-		hashes:  make([]uint64, len(r.hashes)),
-	}
-	copy(out.tuples, r.tuples)
-	copy(out.hashes, r.hashes)
-	for h, bucket := range r.buckets {
-		out.buckets[h] = append([]int(nil), bucket...)
-	}
+	out.member.base = &postings{m: m, n: out.size, upto: out.size}
+	out.member.upto.Store(int64(out.size))
 	return out
 }
 
-// cloneExact returns an independent copy that preserves tuple-log
-// positions, tombstones included. Instance.Ensure uses it as the
-// copy-on-write barrier so that delta windows recorded against the
-// frozen original stay valid against the writable clone; everything
-// else should use Clone, which compacts.
-func (r *Relation) cloneExact() *Relation {
-	out := &Relation{
-		Arity:   r.Arity,
-		buckets: make(map[uint64][]int, len(r.buckets)),
-		tuples:  make([]Tuple, len(r.tuples)),
-		hashes:  make([]uint64, len(r.hashes)),
-		tombs:   r.tombs,
+// cloneCost reports what one write-barrier clone actually did, for the
+// instance's CloneStats: how many sealed chunks were shared by pointer
+// and approximately how many bytes the barrier had to copy (tail
+// chunk, pointer slices, tombstone pages, index flattening).
+type cloneCost struct {
+	sharedChunks int64
+	copiedBytes  int64
+}
+
+// cloneShared is the epoch write barrier: an O(size/chunkSize) clone
+// that shares every sealed chunk, tombstone page and index base with
+// the frozen original and copies only the partial tail chunk, the
+// pointer slices, and — when an overlay outgrew flattenThreshold — a
+// flattened index base. Tuple-log positions, tombstones included, are
+// preserved exactly, so delta windows recorded against the frozen
+// original stay valid against the writable clone. The original may be
+// probed concurrently (it is frozen; lazy index absorbs synchronize on
+// its mutex, which cloneShared holds while reading index state).
+func (r *Relation) cloneShared() (*Relation, cloneCost) {
+	var cost cloneCost
+	out := &Relation{Arity: r.Arity, size: r.size, tombs: r.tombs}
+	out.chunks = append([]*chunk(nil), r.chunks...)
+	cost.sharedChunks = int64(len(r.chunks))
+	cost.copiedBytes = int64(len(r.chunks)) * 8
+	if tail := r.size & chunkMask; tail != 0 {
+		ci := len(r.chunks) - 1
+		old := r.chunks[ci]
+		out.chunks[ci] = &chunk{
+			tuples: append(make([]Tuple, 0, chunkSize), old.tuples...),
+			hashes: append(make([]uint64, 0, chunkSize), old.hashes...),
+		}
+		cost.sharedChunks--
+		cost.copiedBytes += int64(tail) * 32
 	}
-	copy(out.tuples, r.tuples)
-	copy(out.hashes, r.hashes)
-	if r.dead != nil {
-		out.dead = append([]bool(nil), r.dead...)
+	if len(r.dead) > 0 {
+		out.dead = append([]*deadPage(nil), r.dead...)
+		out.deadOwned = make([]bool, len(r.dead))
+		cost.copiedBytes += int64(len(r.dead)) * 9
 	}
-	for h, bucket := range r.buckets {
-		out.buckets[h] = append([]int(nil), bucket...)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	base, upto, flattened := shareOrFlatten(r.member.base, r.member.over, r.member.overCount, int(r.member.upto.Load()))
+	out.member.base = base
+	out.member.upto.Store(int64(upto))
+	cost.copiedBytes += flattened
+	if len(r.indexes) > 0 {
+		out.indexes = make(map[string]*Index, len(r.indexes))
+		for sig, ix := range r.indexes {
+			b, u, fb := shareOrFlatten(ix.base, ix.m, ix.overCount, int(ix.upto.Load()))
+			nix := &Index{r: out, cols: ix.cols, base: b, m: map[uint64][]int{}}
+			nix.upto.Store(int64(u))
+			out.indexes[sig] = nix
+			cost.copiedBytes += fb
+		}
 	}
-	return out
+	clonePrefixes := func(src map[prefixKey]*prefixIndex) map[prefixKey]*prefixIndex {
+		if len(src) == 0 {
+			return nil
+		}
+		dst := make(map[prefixKey]*prefixIndex, len(src))
+		for key, ix := range src {
+			b, u, fb := shareOrFlatten(ix.base, ix.m, ix.overCount, int(ix.upto.Load()))
+			nix := &prefixIndex{base: b, m: map[uint64][]int{}}
+			nix.upto.Store(int64(u))
+			dst[key] = nix
+			cost.copiedBytes += fb
+		}
+		return dst
+	}
+	out.prefixes = clonePrefixes(r.prefixes)
+	out.suffixes = clonePrefixes(r.suffixes)
+	return out, cost
+}
+
+// shareOrFlatten decides how an epoch clone inherits one index: a
+// small position gap above the base is dropped (the clone re-absorbs
+// it lazily), a large one is flattened with the base into a fresh
+// immutable postings covering everything absorbed so far. The decision
+// is on positions, not entries, so even a sparse index (say a prefix
+// index most tuples are too short for) advances its shared watermark
+// instead of rescanning the log every epoch. It returns the clone's
+// base, its absorbed watermark, and the approximate bytes copied by a
+// flatten.
+func shareOrFlatten(base *postings, over map[uint64][]int, overCount, upto int) (*postings, int, int64) {
+	covered := 0
+	if base != nil {
+		covered = base.upto
+	}
+	// Two-sided trigger: a gap under the absolute floor is always
+	// inherited lazily, and a gap under 1/16 of the covered prefix is
+	// too — rebuilding an n-entry base is then paid at most once per
+	// n/16 appended positions, i.e. amortized O(1) per tuple even when
+	// a single epoch appends more than any fixed constant.
+	if gap := upto - covered; gap < flattenThreshold || gap*16 < covered {
+		return base, covered, 0
+	}
+	flat := flattenPostings(base, over, overCount, upto)
+	return flat, flat.upto, int64(overCount)*32 + 64
 }
 
 // Equal reports set equality of two relations (live tuples only).
@@ -459,11 +733,11 @@ func (r *Relation) Equal(s *Relation) bool {
 	if r.Len() != s.Len() || r.Arity != s.Arity {
 		return false
 	}
-	for i, t := range r.tuples {
-		if r.tombs != 0 && r.dead[i] {
+	for pos := 0; pos < r.size; pos++ {
+		if !r.Live(pos) {
 			continue
 		}
-		if s.lookupHashed(r.hashes[i], t) < 0 {
+		if s.lookupHashed(r.hashAt(pos), r.tupleAt(pos)) < 0 {
 			return false
 		}
 	}
@@ -473,16 +747,21 @@ func (r *Relation) Equal(s *Relation) bool {
 // Index is a hash index over a projection of a relation's columns,
 // obtained from Relation.Index. It is built lazily: construction is
 // free, and each Lookup first absorbs any tuples Added since the last
-// lookup, so the index is never stale. Lookups are safe from multiple
-// goroutines while the relation is frozen (see the Relation
-// concurrency contract): the absorb step runs under the relation's
-// mutex and publishes its watermark atomically, so concurrent probes
-// either skip it lock-free or serialize on the build.
+// lookup, so the index is never stale. Like the tuple log, an index is
+// epoch-shared: the write barrier hands clones an immutable base
+// postings and each epoch layers a private overlay on top. Lookups are
+// safe from multiple goroutines while the relation is frozen (see the
+// Relation concurrency contract): the absorb step runs under the
+// relation's mutex and publishes its watermark atomically, so
+// concurrent probes either skip it lock-free or serialize on the
+// build.
 type Index struct {
-	r    *Relation
-	cols []int
-	m    map[uint64][]int
-	upto atomic.Int64 // tuples[:upto] are absorbed
+	r         *Relation
+	cols      []int
+	base      *postings // immutable, shared across epochs; nil when none
+	m         map[uint64][]int
+	overCount int
+	upto      atomic.Int64 // positions [0, upto) are absorbed
 }
 
 // indexSig encodes a column list as a compact map key (one uvarint per
@@ -566,6 +845,31 @@ func verifyBucket(bucket []int, match func(pos int) bool) []int {
 	return bucket
 }
 
+// mergeBuckets probes a base bucket and an overlay bucket, verifying
+// matches. Base positions all precede overlay positions (the base
+// covers a position prefix), so concatenation preserves ascending
+// order.
+func mergeBuckets(baseBucket, over []int, match func(pos int) bool) []int {
+	if len(baseBucket) == 0 {
+		return verifyBucket(over, match)
+	}
+	if len(over) == 0 {
+		return verifyBucket(baseBucket, match)
+	}
+	out := make([]int, 0, len(baseBucket)+len(over))
+	for _, p := range baseBucket {
+		if match(p) {
+			out = append(out, p)
+		}
+	}
+	for _, p := range over {
+		if match(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // CatchUp absorbs every tuple Added since the last absorb, bringing
 // the index fully up to date. Lookup calls it implicitly; the parallel
 // evaluator calls it explicitly before fanning out a round so that the
@@ -574,15 +878,16 @@ func verifyBucket(bucket []int, match func(pos int) bool) []int {
 // buckets are built, so a concurrent probe that observes it never sees
 // a partially built index.
 func (ix *Index) CatchUp() {
-	n := len(ix.r.tuples)
+	n := ix.r.size
 	if int(ix.upto.Load()) >= n {
 		return
 	}
 	ix.r.mu.Lock()
 	defer ix.r.mu.Unlock()
 	for i := int(ix.upto.Load()); i < n; i++ {
-		h := hashCols(ix.r.tuples[i], ix.cols)
+		h := hashCols(ix.r.tupleAt(i), ix.cols)
 		ix.m[h] = append(ix.m[h], i)
+		ix.overCount++
 	}
 	ix.upto.Store(int64(n))
 }
@@ -590,8 +895,8 @@ func (ix *Index) CatchUp() {
 // Lookup returns the tuple-log positions (ascending) of the live
 // tuples whose indexed columns equal vals component-wise. Hash
 // collisions and tombstones are verified, so every returned position
-// is a true, live match. The returned slice is shared with the index;
-// callers must not mutate it.
+// is a true, live match. The returned slice may be shared with the
+// index; callers must not mutate it.
 func (ix *Index) Lookup(vals ...value.Path) []int {
 	return ix.lookup(vals, false)
 }
@@ -609,18 +914,24 @@ func (ix *Index) lookup(vals []value.Path, includeDead bool) []int {
 		panic(fmt.Sprintf("instance: index over %d columns probed with %d values", len(ix.cols), len(vals)))
 	}
 	ix.CatchUp()
-	return verifyBucket(ix.m[hashPaths(vals)], func(pos int) bool {
+	h := hashPaths(vals)
+	match := func(pos int) bool {
 		if !includeDead && !ix.r.Live(pos) {
 			return false
 		}
-		t := ix.r.tuples[pos]
+		t := ix.r.tupleAt(pos)
 		for j, c := range ix.cols {
 			if !t[c].Equal(vals[j]) {
 				return false
 			}
 		}
 		return true
-	})
+	}
+	var baseBucket []int
+	if ix.base != nil {
+		baseBucket = ix.base.m[h]
+	}
+	return mergeBuckets(baseBucket, ix.m[h], match)
 }
 
 // prefixKey identifies a lazily built prefix index: column col, keyed
@@ -628,26 +939,29 @@ func (ix *Index) lookup(vals []value.Path, includeDead bool) []int {
 type prefixKey struct{ col, n int }
 
 type prefixIndex struct {
-	m    map[uint64][]int
-	upto atomic.Int64 // tuples[:upto] are absorbed
+	base      *postings // immutable, shared across epochs; nil when none
+	m         map[uint64][]int
+	overCount int
+	upto      atomic.Int64 // positions [0, upto) are absorbed
 }
 
 // catchUpPrefix absorbs pending tuples into one prefix index, under
 // the same synchronization scheme as Index.CatchUp.
 func (r *Relation) catchUpPrefix(ix *prefixIndex, key prefixKey) {
-	n := len(r.tuples)
+	n := r.size
 	if int(ix.upto.Load()) >= n {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i := int(ix.upto.Load()); i < n; i++ {
-		p := r.tuples[i][key.col]
+		p := r.tupleAt(i)[key.col]
 		if len(p) < key.n {
 			continue
 		}
 		h := p[:key.n].Hash(value.HashSeed)
 		ix.m[h] = append(ix.m[h], i)
+		ix.overCount++
 	}
 	ix.upto.Store(int64(n))
 }
@@ -656,9 +970,10 @@ func (r *Relation) catchUpPrefix(ix *prefixIndex, key prefixKey) {
 // tuples whose column col starts with the given non-empty prefix. A
 // separate index per (col, len(prefix)) is built lazily and caught up
 // after Adds. Collisions and tombstones are verified; the returned
-// slice is shared. Like Lookup, PrefixLookup is safe from concurrent
-// readers while the relation is frozen, including the probe that first
-// creates an index for a prefix length no other goroutine has seen.
+// slice may be shared. Like Lookup, PrefixLookup is safe from
+// concurrent readers while the relation is frozen, including the probe
+// that first creates an index for a prefix length no other goroutine
+// has seen.
 //
 // This is the probe the evaluator uses when a join argument like
 // @y.$rest has a ground prefix under the current valuation: any
@@ -697,32 +1012,39 @@ func (r *Relation) prefixLookup(col int, prefix value.Path, includeDead bool) []
 		r.mu.Unlock()
 	}
 	r.catchUpPrefix(ix, key)
-	return verifyBucket(ix.m[prefix.Hash(value.HashSeed)], func(pos int) bool {
+	match := func(pos int) bool {
 		if !includeDead && !r.Live(pos) {
 			return false
 		}
-		p := r.tuples[pos][col]
+		p := r.tupleAt(pos)[col]
 		return len(p) >= len(prefix) && p[:len(prefix)].Equal(prefix)
-	})
+	}
+	h := prefix.Hash(value.HashSeed)
+	var baseBucket []int
+	if ix.base != nil {
+		baseBucket = ix.base.m[h]
+	}
+	return mergeBuckets(baseBucket, ix.m[h], match)
 }
 
 // catchUpSuffix absorbs pending tuples into one suffix index, under
 // the same synchronization scheme as Index.CatchUp. The key's n counts
 // the last n values of column key.col.
 func (r *Relation) catchUpSuffix(ix *prefixIndex, key prefixKey) {
-	n := len(r.tuples)
+	n := r.size
 	if int(ix.upto.Load()) >= n {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i := int(ix.upto.Load()); i < n; i++ {
-		p := r.tuples[i][key.col]
+		p := r.tupleAt(i)[key.col]
 		if len(p) < key.n {
 			continue
 		}
 		h := p[len(p)-key.n:].Hash(value.HashSeed)
 		ix.m[h] = append(ix.m[h], i)
+		ix.overCount++
 	}
 	ix.upto.Store(int64(n))
 }
@@ -771,22 +1093,29 @@ func (r *Relation) suffixLookup(col int, suffix value.Path, includeDead bool) []
 		r.mu.Unlock()
 	}
 	r.catchUpSuffix(ix, key)
-	return verifyBucket(ix.m[suffix.Hash(value.HashSeed)], func(pos int) bool {
+	match := func(pos int) bool {
 		if !includeDead && !r.Live(pos) {
 			return false
 		}
-		p := r.tuples[pos][col]
+		p := r.tupleAt(pos)[col]
 		return len(p) >= len(suffix) && p[len(p)-len(suffix):].Equal(suffix)
-	})
+	}
+	h := suffix.Hash(value.HashSeed)
+	var baseBucket []int
+	if ix.base != nil {
+		baseBucket = ix.base.m[h]
+	}
+	return mergeBuckets(baseBucket, ix.m[h], match)
 }
 
-// CatchUpIndexes absorbs pending tuples into every secondary index
-// built so far (exact, prefix and suffix). The parallel evaluator
-// calls it on each relation a round will read before fanning out, so
-// worker probes of already-known index shapes run lock-free; an index
-// shape first probed mid-round still builds safely under the internal
-// lock.
+// CatchUpIndexes absorbs pending tuples into the membership index and
+// every secondary index built so far (exact, prefix and suffix). The
+// parallel evaluator calls it on each relation a round will read
+// before fanning out, so worker probes of already-known index shapes
+// run lock-free; an index shape first probed mid-round still builds
+// safely under the internal lock.
 func (r *Relation) CatchUpIndexes() {
+	r.catchUpMember()
 	r.mu.RLock()
 	exact := make([]*Index, 0, len(r.indexes))
 	for _, ix := range r.indexes {
@@ -816,9 +1145,39 @@ func (r *Relation) CatchUpIndexes() {
 	}
 }
 
+// CloneStats accumulates the work the Ensure write barrier has done on
+// behalf of one instance: how many frozen relations were replaced by
+// epoch clones, how many sealed chunks those clones shared by pointer
+// instead of copying, and approximately how many bytes they did copy
+// (partial tail chunks, pointer slices, flattened index bases). The
+// ratio of SharedChunks to CloneBytes is what makes snapshot-epoch
+// write barriers O(1)-ish instead of O(relation).
+type CloneStats struct {
+	BarrierClones int64
+	SharedChunks  int64
+	CloneBytes    int64
+}
+
+// Sub returns s - o, for deriving per-call deltas from two readings.
+func (s CloneStats) Sub(o CloneStats) CloneStats {
+	return CloneStats{
+		BarrierClones: s.BarrierClones - o.BarrierClones,
+		SharedChunks:  s.SharedChunks - o.SharedChunks,
+		CloneBytes:    s.CloneBytes - o.CloneBytes,
+	}
+}
+
+// Add accumulates o into s.
+func (s *CloneStats) Add(o CloneStats) {
+	s.BarrierClones += o.BarrierClones
+	s.SharedChunks += o.SharedChunks
+	s.CloneBytes += o.CloneBytes
+}
+
 // Instance assigns finite relations to relation names (paper §2.1).
 type Instance struct {
-	rels map[string]*Relation
+	rels   map[string]*Relation
+	clones CloneStats
 }
 
 // New creates an empty instance.
@@ -827,15 +1186,21 @@ func New() *Instance { return &Instance{rels: map[string]*Relation{}} }
 // Relation returns the named relation or nil.
 func (i *Instance) Relation(name string) *Relation { return i.rels[name] }
 
+// CloneStats reports the accumulated write-barrier work of this
+// instance; see CloneStats.
+func (i *Instance) CloneStats() CloneStats { return i.clones }
+
 // Ensure returns the named relation, creating it with the given arity if
 // absent. It panics on an arity clash: schemas fix arities.
 //
 // Ensure is the instance's write barrier: when the named relation is
 // frozen (its storage is shared with a snapshot), it is replaced by an
-// unfrozen clone before being returned, so the caller can write to it
-// without disturbing any snapshot. The clone preserves tuple-log
+// unfrozen epoch clone before being returned, so the caller can write
+// to it without disturbing any snapshot. The clone preserves tuple-log
 // positions (tombstones included), so delta windows recorded before the
-// barrier stay valid after it. Readers that only need to look at a
+// barrier stay valid after it — and it shares every sealed chunk and
+// index base with the frozen original, so the barrier costs
+// O(size/chunkSize), not O(size). Readers that only need to look at a
 // relation should use Relation instead, which never clones.
 func (i *Instance) Ensure(name string, arity int) *Relation {
 	if r, ok := i.rels[name]; ok {
@@ -843,8 +1208,12 @@ func (i *Instance) Ensure(name string, arity int) *Relation {
 			panic(fmt.Sprintf("instance: relation %s has arity %d, requested %d", name, r.Arity, arity))
 		}
 		if r.Frozen() {
-			r = r.cloneExact()
-			i.rels[name] = r
+			clone, cost := r.cloneShared()
+			i.clones.BarrierClones++
+			i.clones.SharedChunks += cost.sharedChunks
+			i.clones.CloneBytes += cost.copiedBytes
+			i.rels[name] = clone
+			r = clone
 		}
 		return r
 	}
@@ -913,12 +1282,13 @@ func (i *Instance) Clone() *Instance {
 }
 
 // Snapshot returns a copy-on-write snapshot: a new instance sharing
-// every relation's tuple storage with i. Both i and the snapshot keep
-// reading the shared (now frozen) relations for free; the first write
-// to a relation on either side — any write funneled through Ensure —
-// transparently replaces that side's entry with an unfrozen clone,
-// leaving the other side untouched. Relations never written again are
-// never copied.
+// every relation's chunked tuple log with i. Both i and the snapshot
+// keep reading the shared (now frozen) relations for free; the first
+// write to a relation on either side — any write funneled through
+// Ensure — transparently replaces that side's entry with an unfrozen
+// epoch clone that still shares every sealed chunk, leaving the other
+// side untouched. Relations never written again are never copied, and
+// even written ones only pay for their tail.
 //
 // A snapshot is safe for any number of concurrent readers, including
 // reads that lazily build secondary indexes, even while the originating
@@ -969,8 +1339,10 @@ func (i *Instance) Merge(j *Instance) {
 	for _, n := range j.Names() {
 		r := j.rels[n]
 		dst := i.Ensure(n, r.Arity)
-		for _, t := range r.Tuples() {
-			dst.Add(t)
+		for pos := 0; pos < r.Size(); pos++ {
+			if r.Live(pos) {
+				dst.AddHashed(r.HashAt(pos), r.TupleAt(pos))
+			}
 		}
 	}
 }
