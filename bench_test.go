@@ -546,3 +546,62 @@ func BenchmarkIncrementalRetract(b *testing.B) {
 		}
 	})
 }
+
+// Acceptance workload for the whole-stratum well-founded pruner:
+// retracting one edge through a two-relation mutual-recursion closure
+// (P and Q derive each other through alternating edge sets, so every
+// overdeleted P fact cites Q facts and vice versa). The pruner walks
+// the stamp order across BOTH relations to keep facts whose support
+// chains bottom out in surviving edges; the noprune baseline is
+// textbook DRed (overdelete everything reachable, rederive after),
+// which the pre-stamp within-one-relation pruner degenerated to on
+// mutual recursion. The gap between the two series is the pruner's
+// contribution; CI tracks both (scripts/bench.sh). Measured results
+// are in docs/performance.md ("Retraction").
+func BenchmarkIncrementalRetractMutual(b *testing.B) {
+	prog := MustParse(`
+P(@x.@y) :- EA(@x.@y).
+Q(@x.@z) :- P(@x.@y), EB(@y.@z).
+P(@x.@z) :- Q(@x.@y), EA(@y.@z).`)
+	prep, err := eval.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := workload.Graph(9, 200, 1000)
+	edb := NewInstance()
+	ea, eb := edb.Ensure("EA", 1), edb.Ensure("EB", 1)
+	for i, t := range g.Relation("R").Tuples() {
+		if i%2 == 0 {
+			ea.Add(t)
+		} else {
+			eb.Add(t)
+		}
+	}
+	eaEdges := edb.Relation("EA").Tuples()
+	edgeBatch := func(i int) *Instance {
+		delta := NewInstance()
+		delta.Ensure("EA", 1).Add(eaEdges[i%len(eaEdges)])
+		return delta
+	}
+	run := func(b *testing.B, pruning bool) {
+		defer func(old bool) { eval.WellFoundedPruning = old }(eval.WellFoundedPruning)
+		eval.WellFoundedPruning = pruning
+		engine, err := eval.NewEngine(prep, edb, eval.Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Retract(edgeBatch(i)); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if _, err := engine.Assert(edgeBatch(i)); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	b.Run("retract-mutual/k=1", func(b *testing.B) { run(b, true) })
+	b.Run("retract-mutual-noprune/k=1", func(b *testing.B) { run(b, false) })
+}

@@ -666,8 +666,8 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				reply("err %v", err)
 				continue
 			}
-			reply("ok asserted=%d derived=%d overdeleted=%d rederived=%d skipped=%d incremental=%d%s%s",
-				stats.Asserted, stats.Derived, stats.Overdeleted, stats.Rederived,
+			reply("ok asserted=%d derived=%d overdeleted=%d stamp_pruned=%d rederived=%d skipped=%d incremental=%d%s%s",
+				stats.Asserted, stats.Derived, stats.Overdeleted, stats.StampPruned, stats.Rederived,
 				stats.StrataSkipped, stats.StrataIncremental, planCounters(stats.Plans),
 				cloneCounters(stats.Clones))
 		case "retract":
@@ -681,8 +681,8 @@ func (s *server) serve(r io.Reader, w io.Writer) {
 				reply("err %v", err)
 				continue
 			}
-			reply("ok retracted=%d derived=%d overdeleted=%d rederived=%d skipped=%d incremental=%d%s%s",
-				stats.Retracted, stats.Derived, stats.Overdeleted, stats.Rederived,
+			reply("ok retracted=%d derived=%d overdeleted=%d stamp_pruned=%d rederived=%d skipped=%d incremental=%d%s%s",
+				stats.Retracted, stats.Derived, stats.Overdeleted, stats.StampPruned, stats.Rederived,
 				stats.StrataSkipped, stats.StrataIncremental, planCounters(stats.Plans),
 				cloneCounters(stats.Clones))
 		case "query":

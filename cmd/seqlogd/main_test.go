@@ -40,10 +40,10 @@ quit
 `)
 	for _, want := range []string{
 		"ok loaded",
-		"ok asserted=2 derived=3 overdeleted=0 rederived=0 skipped=0 incremental=1",
+		"ok asserted=2 derived=3 overdeleted=0 stamp_pruned=0 rederived=0 skipped=0 incremental=1",
 		"T(a.b).\nT(a.c).\nT(b.c).\nok n=3",
 		// Asserting c->d adds paths from a, b and c: three new facts.
-		"ok asserted=1 derived=3 overdeleted=0 rederived=0 skipped=0 incremental=1",
+		"ok asserted=1 derived=3 overdeleted=0 stamp_pruned=0 rederived=0 skipped=0 incremental=1",
 		"ok true",
 		"ok facts=9 derived=6 asserts=2 retracts=0",
 		"ok bye",
@@ -217,10 +217,10 @@ stats
 `)
 	for _, want := range []string{
 		// Removing b->c takes T(b.c) and T(a.c) with it.
-		"ok retracted=1 derived=-2 overdeleted=2 rederived=0 skipped=0 incremental=1",
+		"ok retracted=1 derived=-2 overdeleted=2 stamp_pruned=0 rederived=0 skipped=0 incremental=1",
 		"T(a.b).\nok n=1",
 		// Absent facts are dropped silently: a full skip.
-		"ok retracted=0 derived=0 overdeleted=0 rederived=0 skipped=1 incremental=0",
+		"ok retracted=0 derived=0 overdeleted=0 stamp_pruned=0 rederived=0 skipped=1 incremental=0",
 		"err eval: cannot retract IDB relation",
 		"ok facts=2 derived=1 asserts=1 retracts=2",
 	} {

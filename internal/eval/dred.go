@@ -14,9 +14,10 @@ package eval
 //     tombstoned this run), the over-approximation DRed requires:
 //     deleting too much is safe because phase 2 restores survivors,
 //     while deleting too little would leave unsupported facts behind.
-//     Before tombstoning, a well-founded support check (older live
-//     same-relation facts only) prunes candidates that plainly keep a
-//     derivation, which is what stops the cascade at its frontier.
+//     Before tombstoning, a well-founded support check prunes
+//     candidates that plainly keep a derivation from supports stamped
+//     strictly before them (see the stamp paragraph below), which is
+//     what stops the cascade at its frontier.
 //  2. rederive: each overdeleted candidate is checked goal-directedly —
 //     the head matched against the candidate fact, the rule body run
 //     against the live state through a head-bound rederive plan — or,
@@ -35,30 +36,36 @@ package eval
 // consumes nothing new. For auto-stratified programs that is one
 // working sweep plus one no-op sweep.
 //
-// Handwritten strata may define one head name in several strata, with
-// readers in between. Prepared.Eval gives each stratum the view of a
-// relation "as of" its place in the stratum order, and maintenance
-// reproduces that for every DELTA it processes: every delta carries
-// its PRODUCER (the stratum that created it; -1 for the caller's
-// batch), and a stratum only consumes deltas produced at or before
-// its own index. A deletion performed by a later defining stratum
-// therefore stays invisible to an earlier reader (whose view never
-// lost the fact), while a restoration performed by a defining stratum
-// is announced as an insertion when some stratum already consumed the
-// deletion — so a reader after the restorer that acted on the
-// deletion re-derives what it dropped. The extra sweeps of the walk
-// exist for exactly these wake-ups.
+// Provenance is carried by derivation stamps (instance.MakeStamp):
+// every position of every tuple log — the materialization's and the
+// deletion logs' — records a monotone birth counter and the tag of the
+// stratum that produced it (si+1 for stratum si; 0 for the caller's
+// batch, visible to everyone). Maintenance at stratum si reads the
+// materialization through the stratum-exact view {MaxTag: si+1}: side
+// atoms of a delta join, negation probes and the rederive checks all
+// see exactly the facts Prepared.Eval's stratum-ordered pass would
+// have accumulated by stratum si, so handwritten programs that define
+// one head name in several strata — with readers in between —
+// maintain to the same fixpoint Eval computes. A deletion performed by
+// a later defining stratum stays invisible to an earlier reader (its
+// deletion-log stamp carries the later tag), a restoration is
+// announced as an insertion when some stratum already consumed the
+// deletion (so a reader after the restorer re-derives what it
+// dropped), and a fact an earlier stratum derives that a later stratum
+// already produced is PROMOTED — deleted and re-appended under the
+// earlier tag — so downstream readers see it where Eval would have put
+// it. The extra sweeps of the walk exist for exactly these wake-ups.
 //
-// Known limitation (since the PR 4 insert path; see ROADMAP): the
-// SIDE atoms of a delta join read the full materialization, which has
-// no per-stratum fact provenance. A positive forward reference — an
-// earlier stratum reading a head that a later stratum also defines —
-// can therefore join against later-produced facts and derive more
-// than Eval's stratum-ordered pass (the result drifts toward the
-// least model of the rules, which for such programs is larger).
-// Auto-stratified programs never hit this: their readers always sit
-// at or after every definition. TestEngineAssertForwardReadDiverges
-// pins the behavior.
+// The same stamps give the overdeletion pruner its well-founded order:
+// a candidate is kept when some rule derives it from supports that are
+// either settled (tag below the stratum's) or born strictly before the
+// candidate (same tag, smaller birth). Births are issued by one
+// monotone counter across ALL relations, so justification chains
+// strictly decrease and circular keep-alives are impossible — even
+// through mutually recursive sibling relations of the same stratum,
+// which the pre-stamp per-relation position measure could not order
+// (those retractions degraded to textbook DRed: overdelete the
+// downward closure, rederive the world).
 
 import (
 	"errors"
@@ -70,18 +77,45 @@ import (
 )
 
 // window is a half-open position range [lo, hi) into a relation's
-// tuple log, tagged with the stratum that produced it (-1 = the
-// caller's batch, visible to every stratum).
+// tuple log. Who produced the positions — and therefore which strata
+// may see them — is read from their derivation stamps, not tracked on
+// the window.
 type window struct {
 	lo, hi int
-	by     int
 }
 
-// delSegment tags the deletion-log positions [prev upto, upto) with
-// the stratum that produced them (-1 = the caller's batch).
-type delSegment struct {
-	upto int
-	by   int
+// anyVisible reports whether any position of rel in [lo, hi) carries a
+// stamp tag at most maxTag — i.e. whether the range holds anything a
+// stratum reading through {MaxTag: maxTag} can see. Windows appended
+// by one stratum are uniformly tagged, so this short-circuits on the
+// first position in practice.
+func anyVisible(rel *instance.Relation, lo, hi int, maxTag uint64) bool {
+	for pos := lo; pos < hi; pos++ {
+		if instance.StampTag(rel.StampAt(pos)) <= maxTag {
+			return true
+		}
+	}
+	return false
+}
+
+// visibleRanges returns the maximal sub-ranges of dl's positions
+// [lo, hi) whose stamp tag is at most maxTag: the deletion-log entries
+// a stratum reading through {MaxTag: maxTag} consumes. (Tombstoned
+// log entries — deletions since undone — are not filtered here;
+// consumers skip them per position, as before.)
+func visibleRanges(dl *instance.Relation, lo, hi int, maxTag uint64) [][2]int {
+	var out [][2]int
+	for pos := lo; pos < hi; pos++ {
+		if instance.StampTag(dl.StampAt(pos)) > maxTag {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1][1] == pos {
+			out[n-1][1] = pos + 1
+		} else {
+			out = append(out, [2]int{pos, pos + 1})
+		}
+	}
+	return out
 }
 
 // errStopRun aborts a plan run after the first derivation; the
@@ -104,10 +138,15 @@ type maintenance struct {
 	// materialization and has not restored; entries are tombstoned in
 	// place when a rederivation (or an insert-phase re-derivation)
 	// brings the fact back, so the live entries are always the net
-	// deletions. delBy[name] tags the log's position ranges with their
-	// producing stratum.
-	del   map[string]*instance.Relation
-	delBy map[string][]delSegment
+	// deletions. Each entry's stamp tag records the producing stratum
+	// (0 for the caller's batch, whose logs are built before delStamper
+	// attaches), read back by visibleRanges.
+	del map[string]*instance.Relation
+	// delStamper stamps the deletion logs. It is separate from the
+	// engine's stamper — deletion-log births never interleave with the
+	// materialization's, so replayed runs reassign identical stamps —
+	// and is retagged per stratum alongside it.
+	delStamper *instance.Stamper
 
 	// Per-stratum consumption cursors: insDone[si][name] counts the ins
 	// windows stratum si has processed, delDone[si][name] is the Size
@@ -121,7 +160,11 @@ type maintenance struct {
 	visited []bool
 
 	overdeleted, rederived int
-	skipped, incremental   int
+	// pruned counts overdeletion candidates the well-founded support
+	// check kept outright (surfaced as AssertStats/RetractStats
+	// .StampPruned).
+	pruned               int
+	skipped, incremental int
 	// planStats counts the plan executions of this run and their access
 	// paths, folded into AssertStats/RetractStats.Plans by the caller.
 	planStats PlanStats
@@ -130,13 +173,13 @@ type maintenance struct {
 func (e *Engine) newMaintenance() *maintenance {
 	n := len(e.prep.strata)
 	m := &maintenance{
-		e:       e,
-		ins:     map[string][]window{},
-		del:     map[string]*instance.Relation{},
-		delBy:   map[string][]delSegment{},
-		insDone: make([]map[string]int, n),
-		delDone: make([]map[string]int, n),
-		visited: make([]bool, n),
+		e:          e,
+		ins:        map[string][]window{},
+		del:        map[string]*instance.Relation{},
+		delStamper: &instance.Stamper{},
+		insDone:    make([]map[string]int, n),
+		delDone:    make([]map[string]int, n),
+		visited:    make([]bool, n),
 	}
 	for i := 0; i < n; i++ {
 		m.insDone[i] = map[string]int{}
@@ -146,53 +189,18 @@ func (e *Engine) newMaintenance() *maintenance {
 }
 
 // delFor returns the deletion log for name, creating it on first use.
+// The maintenance stamper is (re)attached every time: the caller's
+// batch logs are built by the engine before this maintenance exists,
+// and their later entries must still be stamped with the producing
+// stratum's tag.
 func (m *maintenance) delFor(name string, arity int) *instance.Relation {
 	dl := m.del[name]
 	if dl == nil {
 		dl = instance.NewRelation(arity)
 		m.del[name] = dl
 	}
+	dl.SetStamper(m.delStamper)
 	return dl
-}
-
-// noteDel tags any freshly appended deletion-log positions of name
-// with their producing stratum. Call after growing del[name].
-func (m *maintenance) noteDel(name string, by int) {
-	size := m.del[name].Size()
-	segs := m.delBy[name]
-	if n := len(segs); n > 0 && segs[n-1].by == by {
-		segs[n-1].upto = size
-	} else if n == 0 || segs[n-1].upto < size {
-		segs = append(segs, delSegment{upto: size, by: by})
-	}
-	m.delBy[name] = segs
-}
-
-// delRanges returns the sub-ranges of del[name]'s positions [lo, hi)
-// whose producer is visible to stratum si (produced at or before si).
-func (m *maintenance) delRanges(name string, lo, hi, si int) [][2]int {
-	var out [][2]int
-	start := 0
-	for _, seg := range m.delBy[name] {
-		if seg.by <= si {
-			a, b := start, seg.upto
-			if a < lo {
-				a = lo
-			}
-			if b > hi {
-				b = hi
-			}
-			if a < b {
-				if n := len(out); n > 0 && out[n-1][1] == a {
-					out[n-1][1] = b
-				} else {
-					out = append(out, [2]int{a, b})
-				}
-			}
-		}
-		start = seg.upto
-	}
-	return out
 }
 
 // run walks the strata applying the DRed phases until a full sweep
@@ -232,16 +240,19 @@ func (m *maintenance) run() error {
 func (m *maintenance) stratum(si int) (bool, error) {
 	ps := &m.e.prep.strata[si]
 	insDone, delDone := m.insDone[si], m.delDone[si]
+	maxTag := uint64(si + 1)
 	dirty := false
 	check := func(names map[string]bool) {
 		for name := range names {
-			for _, w := range m.ins[name][insDone[name]:] {
-				if w.by <= si {
-					dirty = true
-					break
+			if rel := m.e.inst.Relation(name); rel != nil {
+				for _, w := range m.ins[name][insDone[name]:] {
+					if anyVisible(rel, w.lo, w.hi, maxTag) {
+						dirty = true
+						break
+					}
 				}
 			}
-			if dl := m.del[name]; dl != nil && len(m.delRanges(name, delDone[name], dl.Size(), si)) > 0 {
+			if dl := m.del[name]; dl != nil && anyVisible(dl, delDone[name], dl.Size(), maxTag) {
 				dirty = true
 			}
 		}
@@ -264,6 +275,11 @@ func (m *maintenance) stratum(si int) (bool, error) {
 		return false, nil
 	}
 	m.visited[si] = true
+	// Everything this stratum appends — materialization facts (restores,
+	// insert-phase derivations, promotions) and deletion-log entries —
+	// is born with this stratum's tag.
+	m.e.stamper.SetTag(maxTag)
+	m.delStamper.SetTag(maxTag)
 	if err := m.overdelete(ps, si, insDone, delDone); err != nil {
 		return true, err
 	}
@@ -290,6 +306,7 @@ func (m *maintenance) stratum(si int) (bool, error) {
 // overdelete is phase 1; see the package comment.
 func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone map[string]int) error {
 	e := m.e
+	maxTag := uint64(si + 1)
 	hb := &headScratch{}
 	sink := func(head ast.Pred, env *Env) error {
 		t, err := hb.build(head, env, e.limits)
@@ -311,29 +328,33 @@ func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone m
 			return nil
 		}
 		// Well-founded pruning: keep the candidate outright when some
-		// rule still derives it from live facts that are strictly older
-		// (same-relation supports below the candidate's own position).
-		// The position measure makes circular keep-alives impossible,
-		// and if a justifying support dies later, its deletion delta
+		// rule still derives it from live facts stamped strictly before
+		// it — settled by an earlier stratum, or born earlier under this
+		// stratum's tag. Births come from one monotone counter, so the
+		// measure totally orders the whole stratum's facts (sibling
+		// relations included) and circular keep-alives are impossible;
+		// if a justifying support dies later, its deletion delta
 		// re-derives this candidate and the check runs again. Pruning
 		// here is what keeps a retraction's cost proportional to the
 		// facts that actually lose their support, instead of the whole
 		// downward closure: in well-connected data most candidates have
 		// an older alternative derivation and the cascade stops at the
 		// frontier.
-		kept, err := m.derivesGoal(ps, head.Name, t, rel, pos)
-		if err != nil {
-			return err
-		}
-		if kept {
-			return nil
+		if e.pruning {
+			kept, err := m.derivesGoal(ps, si, head.Name, t, true, instance.StampBirth(rel.StampAt(pos)))
+			if err != nil {
+				return err
+			}
+			if kept {
+				m.pruned++
+				return nil
+			}
 		}
 		dst := e.inst.Ensure(head.Name, len(head.Args))
 		if !dst.DeleteHashed(h, t) {
 			return nil
 		}
 		m.delFor(head.Name, len(head.Args)).AddFromScratch(h, t)
-		m.noteDel(head.Name, si)
 		e.derived--
 		m.overdeleted++
 		return nil
@@ -353,9 +374,16 @@ func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone m
 			}
 			negIdx++
 			name := s.pred.Name
+			rel := e.inst.Relation(name)
+			if rel == nil {
+				continue
+			}
+			// A window appended by a later stratum is invisible to this
+			// one (its positions carry a later tag); windows are
+			// uniformly tagged, so the filter is per window.
 			var wins []window
 			for _, w := range m.ins[name][insDone[name]:] {
-				if w.by <= si {
+				if anyVisible(rel, w.lo, w.hi, maxTag) {
 					wins = append(wins, w)
 				}
 			}
@@ -363,10 +391,6 @@ func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone m
 				continue
 			}
 			probe := func(h uint64, t instance.Tuple) bool {
-				rel := e.inst.Relation(name)
-				if rel == nil {
-					return false
-				}
 				pos := rel.PositionHashed(h, t)
 				if pos < 0 {
 					return false
@@ -380,10 +404,6 @@ func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone m
 			}
 			if e.variants && negIdx < len(p.negVariants) {
 				nv := p.negVariants[negIdx]
-				rel := e.inst.Relation(name)
-				if rel == nil {
-					continue
-				}
 				env := NewEnv()
 				var runErr error
 				for _, w := range wins {
@@ -397,7 +417,7 @@ func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone m
 							if runErr != nil {
 								return
 							}
-							opts := runOpts{includeDead: true, negStep: nv.step, negProbe: probe, env: env}
+							opts := runOpts{includeDead: true, negStep: nv.step, negProbe: probe, env: env, visTag: maxTag}
 							nv.p.note(&m.planStats, -1)
 							runErr = runPlanOpts(nv.p, e.inst, -1, 0, 0, sink, opts)
 						})
@@ -408,7 +428,7 @@ func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone m
 				}
 				continue
 			}
-			opts := runOpts{includeDead: true, negStep: j, negProbe: probe}
+			opts := runOpts{includeDead: true, negStep: j, negProbe: probe, visTag: maxTag}
 			p.note(&m.planStats, -1)
 			if err := runPlanOpts(p, e.inst, -1, 0, 0, sink, opts); err != nil {
 				return err
@@ -443,9 +463,9 @@ func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone m
 				if dl == nil {
 					continue
 				}
-				for _, r := range m.delRanges(name, proc[name], cur[name], si) {
+				for _, r := range visibleRanges(dl, proc[name], cur[name], maxTag) {
 					ran = true
-					opts := runOpts{deltaRel: dl, includeDead: true, negStep: -1}
+					opts := runOpts{deltaRel: dl, includeDead: true, negStep: -1, visTag: maxTag}
 					run.note(&m.planStats, deltaStep)
 					if err := runPlanOpts(run, e.inst, deltaStep, r[0], r[1], sink, opts); err != nil {
 						return err
@@ -472,6 +492,7 @@ func (m *maintenance) overdelete(ps *preparedStratum, si int, insDone, delDone m
 func (m *maintenance) rederive(ps *preparedStratum, si int) error {
 	e := m.e
 	inst := e.inst
+	maxTag := uint64(si + 1)
 	any := false
 	for name := range ps.heads {
 		if dl := m.del[name]; dl != nil && dl.Len() > 0 {
@@ -501,7 +522,7 @@ func (m *maintenance) rederive(ps *preparedStratum, si int) error {
 		// filter keeps it invisible to earlier readers, whose
 		// stratum-order view genuinely lost the fact.
 		if m.consumedDeletion(name, dlPos) {
-			m.ins[name] = append(m.ins[name], window{lo: mainPos, hi: mainPos + 1, by: si})
+			m.ins[name] = append(m.ins[name], window{lo: mainPos, hi: mainPos + 1})
 		}
 	}
 	// The sink both seeding strategies and the delta rounds share: keep
@@ -553,7 +574,7 @@ func (m *maintenance) rederive(ps *preparedStratum, si int) error {
 					continue
 				}
 				t := dl.TupleAt(pos) // owned by the deletion log, safe to share
-				ok, err := m.rederivable(ps, name, t)
+				ok, err := m.rederivable(ps, si, name, t)
 				if err != nil {
 					return err
 				}
@@ -564,7 +585,7 @@ func (m *maintenance) rederive(ps *preparedStratum, si int) error {
 		}
 	} else {
 		for _, p := range ps.plans {
-			if err := runPlan(p, inst, -1, 0, 0, sink); err != nil {
+			if err := runPlanOpts(p, inst, -1, 0, 0, sink, runOpts{negStep: -1, visTag: maxTag}); err != nil {
 				return err
 			}
 		}
@@ -597,7 +618,7 @@ func (m *maintenance) rederive(ps *preparedStratum, si int) error {
 					continue
 				}
 				run.note(&m.planStats, deltaStep)
-				if err := runPlan(run, inst, deltaStep, lo, hi, sink); err != nil {
+				if err := runPlanOpts(run, inst, deltaStep, lo, hi, sink, runOpts{negStep: -1, visTag: maxTag}); err != nil {
 					return err
 				}
 			}
@@ -607,25 +628,26 @@ func (m *maintenance) rederive(ps *preparedStratum, si int) error {
 }
 
 // rederivable reports whether some rule of the stratum still derives
-// the fact name(t...) from the live state.
-func (m *maintenance) rederivable(ps *preparedStratum, name string, t instance.Tuple) (bool, error) {
-	return m.derivesGoal(ps, name, t, nil, 0)
+// the fact name(t...) from the live state, as seen by stratum si.
+func (m *maintenance) rederivable(ps *preparedStratum, si int, name string, t instance.Tuple) (bool, error) {
+	return m.derivesGoal(ps, si, name, t, false, 0)
 }
 
 // derivesGoal reports whether some rule of the stratum derives the
 // fact name(t...): the rule head is matched against the fact and the
-// body evaluated against the live state through the head-bound
-// rederive plan, stopping at the first derivation found. With boundRel
-// set (the overdeletion pruner), supports from boundRel must sit at
-// tuple-log positions below boundPos, and only selfContained rules are
-// considered — the well-founded variant of the check.
-func (m *maintenance) derivesGoal(ps *preparedStratum, name string, t instance.Tuple, boundRel *instance.Relation, boundPos int) (bool, error) {
+// body evaluated against stratum si's view of the live state through
+// the head-bound rederive plan, stopping at the first derivation
+// found. With bound set (the overdeletion pruner), supports read from
+// this stratum's own heads — the relations still in flux — must be
+// born strictly before boundBirth, the well-founded variant of the
+// check. Every rule participates: the stamp order covers mutual
+// recursion through sibling relations, and a forward-read body atom
+// sees only settled earlier-stratum facts under the view, so the
+// pre-stamp restriction to self-contained rules is gone.
+func (m *maintenance) derivesGoal(ps *preparedStratum, si int, name string, t instance.Tuple, bound bool, boundBirth uint64) (bool, error) {
 	stop := func(ast.Pred, *Env) error { return errStopRun }
 	for i, p := range ps.plans {
 		if p.rule.Head.Name != name {
-			continue
-		}
-		if boundRel != nil && !ps.selfContained[i] {
 			continue
 		}
 		rp := ps.rederive[i]
@@ -636,7 +658,11 @@ func (m *maintenance) derivesGoal(ps *preparedStratum, name string, t instance.T
 			if found || runErr != nil {
 				return
 			}
-			opts := runOpts{negStep: -1, env: env, boundRel: boundRel, boundPos: boundPos}
+			opts := runOpts{negStep: -1, env: env, visTag: uint64(si + 1)}
+			if bound {
+				opts.boundHeads = ps.heads
+				opts.boundBirth = boundBirth
+			}
 			err := runPlanOpts(rp, m.e.inst, -1, 0, 0, stop, opts)
 			switch {
 			case err == nil:
@@ -660,12 +686,17 @@ func (m *maintenance) derivesGoal(ps *preparedStratum, name string, t instance.T
 func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[string]int) error {
 	e := m.e
 	inst, limits := e.inst, e.limits
+	maxTag := uint64(si + 1)
 	workers := limits.workers()
 	prev := localSizes(ps.heads, inst)
 	eligible := func(name string) []window {
 		var out []window
+		rel := inst.Relation(name)
+		if rel == nil {
+			return nil
+		}
 		for _, w := range m.ins[name][insDone[name]:] {
-			if w.by <= si {
+			if anyVisible(rel, w.lo, w.hi, maxTag) {
 				out = append(out, w)
 			}
 		}
@@ -689,20 +720,20 @@ func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[s
 				}
 			}
 		}
-		if err := runRoundParallel(items, inst, workers, limits, &e.derived); err != nil {
+		if err := runRoundParallel(items, inst, workers, limits, &e.derived, maxTag); err != nil {
 			return err
 		}
 	} else {
 		hb := &headScratch{}
 		sink := func(head ast.Pred, env *Env) error {
-			return derive(head, env, inst, limits, &e.derived, hb)
+			return derive(head, env, inst, limits, &e.derived, hb, maxTag)
 		}
 		for _, p := range ps.plans {
 			for k := range p.predSteps {
 				run, deltaStep := deltaPlan(p, k, e.variants)
 				for _, w := range eligible(run.steps[deltaStep].pred.Name) {
 					run.note(&m.planStats, deltaStep)
-					if err := runPlan(run, inst, deltaStep, w.lo, w.hi, sink); err != nil {
+					if err := runPlanOpts(run, inst, deltaStep, w.lo, w.hi, sink, runOpts{negStep: -1, visTag: maxTag}); err != nil {
 						return err
 					}
 				}
@@ -716,7 +747,7 @@ func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[s
 	// overdelete phase's enumeration.
 	hb := &headScratch{}
 	sink := func(head ast.Pred, env *Env) error {
-		return derive(head, env, inst, limits, &e.derived, hb)
+		return derive(head, env, inst, limits, &e.derived, hb, maxTag)
 	}
 	for _, p := range ps.plans {
 		negIdx := -1
@@ -730,7 +761,7 @@ func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[s
 			if dl == nil {
 				continue
 			}
-			ranges := m.delRanges(name, delDone[name], dl.Size(), si)
+			ranges := visibleRanges(dl, delDone[name], dl.Size(), maxTag)
 			if len(ranges) == 0 {
 				continue
 			}
@@ -777,7 +808,7 @@ func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[s
 							if runErr != nil {
 								return
 							}
-							opts := runOpts{negStep: nv.step, negProbe: probe, env: env}
+							opts := runOpts{negStep: nv.step, negProbe: probe, env: env, visTag: maxTag}
 							nv.p.note(&m.planStats, -1)
 							runErr = runPlanOpts(nv.p, inst, -1, 0, 0, sink, opts)
 						})
@@ -788,7 +819,7 @@ func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[s
 				}
 				continue
 			}
-			opts := runOpts{negStep: j, negProbe: probe}
+			opts := runOpts{negStep: j, negProbe: probe, visTag: maxTag}
 			p.note(&m.planStats, -1)
 			if err := runPlanOpts(p, inst, -1, 0, 0, sink, opts); err != nil {
 				return err
@@ -796,7 +827,7 @@ func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[s
 		}
 	}
 	// (c) chase the stratum-local consequences.
-	if err := fixpointRounds(ps.plans, ps.heads, inst, limits, &e.derived, prev, e.variants, &m.planStats); err != nil {
+	if err := fixpointRounds(ps.plans, ps.heads, inst, limits, &e.derived, prev, e.variants, &m.planStats, maxTag); err != nil {
 		return err
 	}
 	// Record the insertion windows for downstream strata, and collapse
@@ -810,7 +841,7 @@ func (m *maintenance) insert(ps *preparedStratum, si int, insDone, delDone map[s
 			continue
 		}
 		if hi := rel.Size(); hi > prev[name] {
-			m.ins[name] = append(m.ins[name], window{lo: prev[name], hi: hi, by: si})
+			m.ins[name] = append(m.ins[name], window{lo: prev[name], hi: hi})
 		}
 		dl := m.del[name]
 		if dl == nil {

@@ -273,18 +273,16 @@ G2($x) :- H($x).`)
 	}
 }
 
-// TestEngineAssertForwardReadDiverges pins a documented limitation
-// (see dred.go's package comment and ROADMAP): side atoms of a delta
-// join have no per-stratum provenance, so an earlier stratum reading
-// a head that a LATER stratum also defines (a positive forward
-// reference — something auto-stratification never produces) joins
-// against the later stratum's facts. The engine then derives more
-// than Prepared.Eval's stratum-ordered pass: here P(c) via the
-// stratum-3 fact H(c), which stratum 2's Eval view does not contain.
-// If this test starts failing because the engine matches Eval, the
-// limitation has been fixed — delete this test and close the ROADMAP
-// item.
-func TestEngineAssertForwardReadDiverges(t *testing.T) {
+// TestEngineAssertForwardReadMatchesEval pins that the forward-read
+// divergence is closed: with derivation stamps, a side atom of a delta
+// join at stratum 2 reads a stamp-bounded view of H, so the stratum-3
+// fact H(c) is invisible to it — exactly as in Prepared.Eval's
+// stratum-ordered pass. A positive forward reference (an earlier
+// stratum reading a head a LATER stratum also defines — something
+// auto-stratification never produces) used to make Assert derive the
+// extra P(c); now Assert and Eval must agree on the full
+// materialization.
+func TestEngineAssertForwardReadMatchesEval(t *testing.T) {
 	prog := parser.MustParseProgram(`
 H($x) :- A($x).
 ---
@@ -302,29 +300,24 @@ H($x) :- C($x).`)
 	if _, err := e.Assert(parser.MustParseInstance(`B(c).`)); err != nil {
 		t.Fatal(err)
 	}
-	p, err := e.Query("P")
-	if err != nil {
-		t.Fatal(err)
-	}
 	want, err := prep.Eval(parser.MustParseInstance(`C(c). B(c).`), Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if wp := want.Relation("P"); wp != nil && wp.Len() > 0 {
-		t.Fatalf("Eval derived P = %v; the premise of this limitation test no longer holds", wp.Sorted())
+		t.Fatalf("Eval derived P = %v; the premise of this forward-read test no longer holds", wp.Sorted())
 	}
-	if p.Len() != 1 {
-		t.Fatalf("P = %v — the documented forward-read divergence changed; update dred.go's package comment and the ROADMAP item", p.Sorted())
+	if got := mustSnapshot(t, e); !got.Equal(want) {
+		t.Fatal(instance.Diff(got, want))
 	}
 }
 
-// TestEngineForwardReadGapUnchangedByVariants pins that delta-hoisted
-// plan variants neither widen nor narrow the documented forward-read
-// over-derivation: on the TestEngineAssertForwardReadDiverges program
-// the variant-maintained engine must derive exactly the same
-// materialization as the base-plan engine — one extra P(c), no more
-// (see docs/serving.md on the divergence).
-func TestEngineForwardReadGapUnchangedByVariants(t *testing.T) {
+// TestEngineForwardReadMatchesEvalUnderVariants pins that delta-hoisted
+// plan variants preserve the stamp-bounded views: on the
+// TestEngineAssertForwardReadMatchesEval program the variant-maintained
+// engine and the base-plan engine must both produce Eval's
+// materialization — no over-derived P(c) in either regime.
+func TestEngineForwardReadMatchesEvalUnderVariants(t *testing.T) {
 	prog := parser.MustParseProgram(`
 H($x) :- A($x).
 ---
@@ -359,10 +352,14 @@ H($x) :- C($x).`)
 		t.Fatal(err)
 	}
 	if d := instance.Diff(snapOn, snapOff); d != "" {
-		t.Fatalf("variants changed the forward-read gap: %s", d)
+		t.Fatalf("variants changed the forward-read materialization: %s", d)
 	}
-	if p := snapOn.Relation("P"); p == nil || p.Len() != 1 {
-		t.Fatalf("P = %v, want the single documented over-derivation P(c)", p)
+	want, err := prep.Eval(parser.MustParseInstance(`C(c). B(c).`), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snapOn.Equal(want) {
+		t.Fatal(instance.Diff(snapOn, want))
 	}
 }
 

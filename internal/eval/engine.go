@@ -38,6 +38,19 @@ type Engine struct {
 	// per engine so concurrently used engines (the differential fuzzer
 	// interleaves both settings) never race on the global.
 	variants bool
+	// pruning is the WellFoundedPruning setting captured at NewEngine
+	// time: the overdeletion pruner's stamp-ordered support check runs
+	// when set; otherwise every candidate is overdeleted and rescued by
+	// rederivation (textbook DRed, the benchmark baseline).
+	pruning bool
+	// stamper issues the derivation stamp of every tuple appended to the
+	// materialization: a monotone birth counter plus the producing
+	// stratum's tag (si+1; 0 for base facts of an asserted batch).
+	// Maintenance retags it as it moves through the strata. Stamps are
+	// what give maintenance stratum-exact views of the materialization
+	// and the pruner its whole-stratum well-founded order; they are
+	// recomputed on replay, never serialized.
+	stamper *instance.Stamper
 	// plans accumulates the PlanStats of every maintenance run, for
 	// EngineStats.
 	plans PlanStats
@@ -133,6 +146,12 @@ type AssertStats struct {
 	// facts the batch genuinely invalidated.
 	Overdeleted int
 	Rederived   int
+	// StampPruned counts overdeletion candidates the well-founded pruner
+	// kept outright: a rule still derives them from supports stamped
+	// strictly before the candidate (earlier stratum, or earlier birth
+	// within the stratum), so they were never tombstoned and never needed
+	// rederivation. 0 when the engine runs with pruning off.
+	StampPruned int
 	// StrataSkipped counts strata left completely untouched because no
 	// relation they read changed; StrataIncremental counts strata
 	// maintained delta-first. Nothing is ever recomputed from scratch:
@@ -163,6 +182,9 @@ type RetractStats struct {
 	// counts those restored by a surviving alternative derivation.
 	Overdeleted int
 	Rederived   int
+	// StampPruned: as in AssertStats — candidates the stamp-ordered
+	// pruner kept without tombstoning.
+	StampPruned int
 	// StrataSkipped / StrataIncremental: as in AssertStats.
 	StrataSkipped     int
 	StrataIncremental int
@@ -192,6 +214,10 @@ type EngineStats struct {
 	// delta-hoisted plan variants (captured from eval.DeltaVariants at
 	// NewEngine time).
 	DeltaVariants bool
+	// WellFoundedPruning reports whether the engine's overdeletion
+	// pruner runs the stamp-ordered support check (captured from
+	// eval.WellFoundedPruning at NewEngine time).
+	WellFoundedPruning bool
 	// Clones accumulates the copy-on-write barrier work of every write
 	// since the engine was created (including the initial fixpoint's
 	// clones of frozen EDB seeds): epoch clones made, sealed chunks
@@ -216,7 +242,10 @@ func NewEngine(prep *Prepared, edb *instance.Instance, limits Limits) (*Engine, 
 		inst:     edb.Snapshot(),
 		seeds:    map[string]*instance.Relation{},
 		variants: DeltaVariants,
+		pruning:  WellFoundedPruning,
+		stamper:  &instance.Stamper{},
 	}
+	e.inst.SetStamper(e.stamper)
 	for name := range prep.idb {
 		if r := e.inst.Relation(name); r != nil {
 			e.seeds[name] = r // frozen by the snapshot above
@@ -224,7 +253,13 @@ func NewEngine(prep *Prepared, edb *instance.Instance, limits Limits) (*Engine, 
 	}
 	for si := range prep.strata {
 		ps := &prep.strata[si]
-		if err := runStratum(ps.plans, ps.heads, e.inst, e.limits, &e.derived); err != nil {
+		// Tag this stratum's derivations si+1, but filter nothing
+		// (visTag 0): the initial fixpoint runs the strata in order over
+		// a state where no later-stratum fact exists yet, and a carried
+		// EDB may hold stamps from a previous engine's run that must stay
+		// fully visible.
+		e.stamper.SetTag(uint64(si + 1))
+		if err := runStratum(ps.plans, ps.heads, e.inst, e.limits, &e.derived, 0); err != nil {
 			return nil, fmt.Errorf("stratum %d: %w", si+1, err)
 		}
 	}
@@ -287,15 +322,16 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return EngineStats{
-		Facts:         e.inst.Facts(),
-		Derived:       e.derived,
-		Asserts:       e.asserts,
-		Retracts:      e.retracts,
-		LastAssert:    e.last,
-		LastRetract:   e.lastRet,
-		Plans:         e.plans,
-		DeltaVariants: e.variants,
-		Clones:        e.inst.CloneStats(),
+		Facts:              e.inst.Facts(),
+		Derived:            e.derived,
+		Asserts:            e.asserts,
+		Retracts:           e.retracts,
+		LastAssert:         e.last,
+		LastRetract:        e.lastRet,
+		Plans:              e.plans,
+		DeltaVariants:      e.variants,
+		WellFoundedPruning: e.pruning,
+		Clones:             e.inst.CloneStats(),
 	}
 }
 
@@ -347,6 +383,9 @@ func (e *Engine) Assert(delta *instance.Instance) (AssertStats, error) {
 		return stats, err
 	}
 	clonesBefore := e.inst.CloneStats()
+	// Batch facts are base facts: stamped tag 0, visible to every
+	// stratum's view (the pre-stamp "produced by -1").
+	e.stamper.SetTag(0)
 	batch := map[string][]window{}
 	for _, name := range delta.Names() {
 		src := delta.Relation(name)
@@ -366,7 +405,7 @@ func (e *Engine) Assert(delta *instance.Instance) (AssertStats, error) {
 			}
 		}
 		if hi := dst.Size(); hi > lo {
-			batch[name] = append(batch[name], window{lo: lo, hi: hi, by: -1})
+			batch[name] = append(batch[name], window{lo: lo, hi: hi})
 		}
 	}
 	if stats.Asserted == 0 {
@@ -387,6 +426,7 @@ func (e *Engine) Assert(delta *instance.Instance) (AssertStats, error) {
 	stats.Derived = e.derived - derivedBefore
 	stats.Overdeleted = m.overdeleted
 	stats.Rederived = m.rederived
+	stats.StampPruned = m.pruned
 	stats.StrataSkipped = m.skipped
 	stats.StrataIncremental = m.incremental
 	stats.Plans = m.planStats
@@ -468,8 +508,10 @@ func (e *Engine) Retract(delta *instance.Instance) (RetractStats, error) {
 	}
 	m := e.newMaintenance()
 	for name, dl := range batch {
+		// The batch logs were built before the maintenance stamper could
+		// attach, so their entries are stamped 0: batch deletions are
+		// visible to every stratum, exactly like batch insertions.
 		m.del[name] = dl
-		m.noteDel(name, -1) // batch deletions are visible to every stratum
 	}
 	derivedBefore := e.derived
 	if err := m.run(); err != nil {
@@ -479,6 +521,7 @@ func (e *Engine) Retract(delta *instance.Instance) (RetractStats, error) {
 	stats.Derived = e.derived - derivedBefore
 	stats.Overdeleted = m.overdeleted
 	stats.Rederived = m.rederived
+	stats.StampPruned = m.pruned
 	stats.StrataSkipped = m.skipped
 	stats.StrataIncremental = m.incremental
 	stats.Plans = m.planStats

@@ -32,6 +32,16 @@ var IndexedJoins = true
 // global; semi-naive rounds inside Prepared.Eval read it per call.
 var DeltaVariants = true
 
+// WellFoundedPruning toggles the overdeletion pruner's well-founded
+// support check (see maintenance.overdelete): with it off, every
+// candidate reached by the deletion chase is overdeleted and must be
+// rescued by rederivation — textbook DRed, the pre-stamp baseline the
+// retract benchmarks compare against. Both settings reach the same
+// fixpoint; pruning only changes how much of the downward closure is
+// touched. Captured once per Engine at NewEngine time, like
+// DeltaVariants.
+var WellFoundedPruning = true
+
 // Limits bound and configure an evaluation. Zero values mean "use the
 // default".
 type Limits struct {
@@ -155,11 +165,16 @@ func localSizes(local map[string]bool, inst *instance.Instance) map[string]int {
 // single-threaded at the round barrier. Merging in work-unit order
 // keeps the result instance — including its insertion order —
 // independent of goroutine scheduling.
-func runStratum(plans []*plan, local map[string]bool, inst *instance.Instance, limits Limits, derived *int) error {
+//
+// visTag is the derivation-stamp tag facts derived by this stratum are
+// born with (si+1 for stratum si; see instance.MakeStamp); 0 means the
+// run neither tags nor filters (Prepared.Eval on a fresh result
+// instance, where strata are already ordered by construction).
+func runStratum(plans []*plan, local map[string]bool, inst *instance.Instance, limits Limits, derived *int, visTag uint64) error {
 	workers := limits.workers()
 	hb := &headScratch{}
 	seqSink := func(head ast.Pred, env *Env) error {
-		return derive(head, env, inst, limits, derived, hb)
+		return derive(head, env, inst, limits, derived, hb, visTag)
 	}
 
 	// Round 0: evaluate every rule against the full instance.
@@ -169,17 +184,17 @@ func runStratum(plans []*plan, local map[string]bool, inst *instance.Instance, l
 		for i, p := range plans {
 			items[i] = workItem{plan: p, deltaStep: -1}
 		}
-		if err := runRoundParallel(items, inst, workers, limits, derived); err != nil {
+		if err := runRoundParallel(items, inst, workers, limits, derived, visTag); err != nil {
 			return err
 		}
 	} else {
 		for _, p := range plans {
-			if err := runPlan(p, inst, -1, 0, 0, seqSink); err != nil {
+			if err := runPlanOpts(p, inst, -1, 0, 0, seqSink, runOpts{negStep: -1, visTag: visTag}); err != nil {
 				return err
 			}
 		}
 	}
-	return fixpointRounds(plans, local, inst, limits, derived, prev, DeltaVariants, nil)
+	return fixpointRounds(plans, local, inst, limits, derived, prev, DeltaVariants, nil, visTag)
 }
 
 // deltaPlan resolves which plan runs for the k-th delta-restricted
@@ -205,11 +220,11 @@ func deltaPlan(p *plan, k int, variants bool) (run *plan, deltaStep int) {
 // With variants enabled the delta-restricted runs use the hoisted
 // per-delta plans (see deltaPlan); pstats, when non-nil, accumulates
 // plan-execution counters for the maintenance stats.
-func fixpointRounds(plans []*plan, local map[string]bool, inst *instance.Instance, limits Limits, derived *int, prev map[string]int, variants bool, pstats *PlanStats) error {
+func fixpointRounds(plans []*plan, local map[string]bool, inst *instance.Instance, limits Limits, derived *int, prev map[string]int, variants bool, pstats *PlanStats, visTag uint64) error {
 	workers := limits.workers()
 	hb := &headScratch{}
 	seqSink := func(head ast.Pred, env *Env) error {
-		return derive(head, env, inst, limits, derived, hb)
+		return derive(head, env, inst, limits, derived, hb, visTag)
 	}
 	for iter := 0; ; iter++ {
 		cur := localSizes(local, inst)
@@ -227,7 +242,7 @@ func fixpointRounds(plans []*plan, local map[string]bool, inst *instance.Instanc
 			return fmt.Errorf("%w: %d fixpoint rounds", ErrNonTermination, iter)
 		}
 		if workers > 1 {
-			if err := runRoundParallel(deltaItems(plans, local, prev, cur, workers, variants, pstats), inst, workers, limits, derived); err != nil {
+			if err := runRoundParallel(deltaItems(plans, local, prev, cur, workers, variants, pstats), inst, workers, limits, derived, visTag); err != nil {
 				return err
 			}
 		} else {
@@ -243,7 +258,7 @@ func fixpointRounds(plans []*plan, local map[string]bool, inst *instance.Instanc
 						continue
 					}
 					run.note(pstats, deltaStep)
-					if err := runPlan(run, inst, deltaStep, lo, hi, seqSink); err != nil {
+					if err := runPlanOpts(run, inst, deltaStep, lo, hi, seqSink, runOpts{negStep: -1, visTag: visTag}); err != nil {
 						return err
 					}
 				}
@@ -298,18 +313,45 @@ type runOpts struct {
 	// depend on a change of the negated relation.
 	negStep  int
 	negProbe func(h uint64, t instance.Tuple) bool
-	// boundRel/boundPos restrict positive steps over boundRel to live
-	// tuples at tuple-log positions below boundPos. The overdeletion
-	// pruner uses this as its well-founded support check: a candidate at
-	// position p may only be justified by same-relation facts strictly
-	// older than p, so chains of justifications ground out and circular
-	// keep-alives are impossible.
-	boundRel *instance.Relation
-	boundPos int
+	// visTag, when nonzero, restricts every positive step and negation
+	// probe to the stratum-exact view: only tuple-log positions whose
+	// derivation stamp carries a tag at most visTag (si+1 for stratum
+	// si; base facts are tagged 0) are visible. This is how maintenance
+	// reproduces Prepared.Eval's stratum-ordered pass — a side atom or
+	// negated atom never sees facts a later stratum produced. 0 (the
+	// from-scratch evaluator) reads everything.
+	visTag uint64
+	// boundHeads/boundBirth are the overdeletion pruner's well-founded
+	// support check: positive non-delta steps over a relation named in
+	// boundHeads (the candidate's stratum's heads — the relations still
+	// in flux) only accept supports stamped before the candidate:
+	// produced by an earlier stratum (tag < visTag), or born earlier in
+	// this stratum (birth < boundBirth). Birth stamps are issued by one
+	// monotone counter, so justification chains strictly decrease and
+	// circular keep-alives are impossible — including cycles through
+	// sibling relations of the same stratum, which a per-relation
+	// position measure could not order.
+	boundHeads map[string]bool
+	boundBirth uint64
 	// env pre-seeds the valuation (goal-directed rederivation binds the
 	// head against a candidate fact before running the body). Nil means
 	// a fresh environment.
 	env *Env
+}
+
+// stepView builds the stamp/tombstone view one positive step probes
+// under: the delta step never includes tombstones (a deleted fact is
+// no longer part of the delta) and never carries the pruner's birth
+// bound (the delta is the change set itself, not a support).
+func (opts *runOpts) stepView(s *step, isDelta bool) instance.View {
+	v := instance.View{MaxTag: opts.visTag}
+	if !isDelta {
+		v.Dead = opts.includeDead
+		if opts.boundHeads != nil && opts.boundHeads[s.pred.Name] {
+			v.MaxBirth = opts.boundBirth
+		}
+	}
+	return v
 }
 
 // runPlan evaluates one rule, feeding every derivation to sink. If
@@ -333,12 +375,15 @@ func runPlanOpts(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi i
 	// whose delta window covers the new facts.
 	rels := make([]*instance.Relation, len(p.steps))
 	idxs := make([]*instance.Index, len(p.steps))
+	views := make([]instance.View, len(p.steps))
 	scratch := make([]stepScratch, len(p.steps))
-	for i, s := range p.steps {
+	for i := range p.steps {
+		s := &p.steps[i]
 		switch s.kind {
 		case stepPred:
 			scratch[i].vals = make([]value.Path, len(s.boundCols))
 			scratch[i].sub = make([]value.Path, len(s.unboundCols))
+			views[i] = opts.stepView(s, i == deltaStep)
 		case stepNegPred:
 			scratch[i].neg = make(instance.Tuple, len(s.pred.Args))
 		}
@@ -379,16 +424,11 @@ func runPlanOpts(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi i
 			if i == deltaStep {
 				lo, hi = deltaLo, deltaHi
 			}
-			// Well-founded support check: only tuples older than the
-			// candidate under examination may justify it (see runOpts).
-			if opts.boundRel == rel && hi > opts.boundPos {
-				hi = opts.boundPos
-			}
-			// The delta step always skips tombstoned positions (a deleted
-			// or rederived fact is no longer part of the delta); other
-			// steps skip them too unless the run joins against the
-			// pre-deletion state (opts.includeDead, the DRed overdelete).
-			liveOnly := !opts.includeDead || i == deltaStep
+			// The step's view carries tombstone visibility (the DRed
+			// overdelete joins against the pre-deletion state), the
+			// stamp tag bound (stratum-exact reads), and the pruner's
+			// birth bound (well-founded support check); see stepView.
+			v := views[i]
 			sc := &scratch[i]
 			if idxs[i] != nil {
 				// Exact probe: the ground argument positions pick the
@@ -398,13 +438,7 @@ func runPlanOpts(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi i
 				for j, c := range s.boundCols {
 					sc.vals[j] = env.EvalAppend(s.pred.Args[c], sc.vals[j][:0])
 				}
-				var poss []int
-				if liveOnly {
-					poss = idxs[i].Lookup(sc.vals...)
-				} else {
-					poss = idxs[i].LookupAll(sc.vals...)
-				}
-				for _, pos := range poss {
+				for _, pos := range idxs[i].LookupView(v, sc.vals...) {
 					if pos < lo || pos >= hi {
 						continue
 					}
@@ -429,13 +463,7 @@ func runPlanOpts(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi i
 				sc.bufA = env.EvalAppend(s.pred.Args[s.prefixCol][:s.prefixLen], sc.bufA[:0])
 				prefix := sc.bufA
 				if len(prefix) > 0 {
-					var poss []int
-					if liveOnly {
-						poss = rel.PrefixLookup(s.prefixCol, prefix)
-					} else {
-						poss = rel.PrefixLookupAll(s.prefixCol, prefix)
-					}
-					for _, pos := range poss {
+					for _, pos := range rel.PrefixLookupView(v, s.prefixCol, prefix) {
 						if pos < lo || pos >= hi {
 							continue
 						}
@@ -458,13 +486,7 @@ func runPlanOpts(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi i
 				sc.bufA = env.EvalAppend(arg[len(arg)-s.suffixLen:], sc.bufA[:0])
 				suffix := sc.bufA
 				if len(suffix) > 0 {
-					var poss []int
-					if liveOnly {
-						poss = rel.SuffixLookup(s.suffixCol, suffix)
-					} else {
-						poss = rel.SuffixLookupAll(s.suffixCol, suffix)
-					}
-					for _, pos := range poss {
+					for _, pos := range rel.SuffixLookupView(v, s.suffixCol, suffix) {
 						if pos < lo || pos >= hi {
 							continue
 						}
@@ -477,7 +499,10 @@ func runPlanOpts(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi i
 				}
 			}
 			for pos := lo; pos < hi; pos++ {
-				if liveOnly && !rel.Live(pos) {
+				if !v.Dead && !rel.Live(pos) {
+					continue
+				}
+				if !v.Admits(rel.StampAt(pos)) {
 					continue
 				}
 				env.MatchTuple(s.pred.Args, rel.TupleAt(pos), func() { exec(i + 1) })
@@ -517,7 +542,10 @@ func runPlanOpts(p *plan, inst *instance.Instance, deltaStep, deltaLo, deltaHi i
 				for k, a := range s.pred.Args {
 					sc.neg[k] = env.EvalAppend(a, sc.neg[k][:0])
 				}
-				if rel.Contains(sc.neg) {
+				// Negated relations live in earlier strata, so under a
+				// stratum-exact view the probe must not see facts a later
+				// handwritten stratum re-derives into the same head.
+				if rel.ContainsHashedView(instance.View{MaxTag: opts.visTag}, sc.neg.Hash(), sc.neg) {
 					return
 				}
 			}
@@ -566,13 +594,26 @@ func (hb *headScratch) build(head ast.Pred, env *Env, limits Limits) (instance.T
 	return hb.tuple, nil
 }
 
-func derive(head ast.Pred, env *Env, inst *instance.Instance, limits Limits, derived *int, hb *headScratch) error {
+func derive(head ast.Pred, env *Env, inst *instance.Instance, limits Limits, derived *int, hb *headScratch, visTag uint64) error {
 	t, err := hb.build(head, env, limits)
 	if err != nil {
 		return err
 	}
 	rel := inst.Ensure(head.Name, len(head.Args))
-	if !rel.AddFromScratch(t.Hash(), t) {
+	h := t.Hash()
+	if !rel.AddFromScratch(h, t) {
+		// Promotion: the fact exists but was produced by a later stratum
+		// (its stamp tag exceeds visTag), so under the stratum-exact view
+		// it is invisible here. Re-add it so it is born at this stratum —
+		// the fresh position lands in the current insertion window, and
+		// downstream strata (and negation probes) see it exactly where
+		// Prepared.Eval's stratum-ordered pass would have put it. The fact
+		// set is unchanged, so *derived is not incremented.
+		if visTag == 0 || instance.StampTag(rel.StampAt(rel.PositionHashed(h, t))) <= visTag {
+			return nil
+		}
+		rel.DeleteHashed(h, t)
+		rel.AddFromScratch(h, t)
 		return nil
 	}
 	*derived++

@@ -128,7 +128,7 @@ func freezeIndexes(items []workItem, inst *instance.Instance) {
 // runRoundParallel evaluates one round's work items on a pool of
 // `workers` goroutines and merges the derivations at the barrier; see
 // the package comment at the top of this file for the protocol.
-func runRoundParallel(items []workItem, inst *instance.Instance, workers int, limits Limits, derived *int) error {
+func runRoundParallel(items []workItem, inst *instance.Instance, workers int, limits Limits, derived *int, visTag uint64) error {
 	if len(items) == 0 {
 		return nil
 	}
@@ -160,8 +160,8 @@ func runRoundParallel(items []workItem, inst *instance.Instance, workers int, li
 				it := items[idx]
 				buf := instance.New()
 				bufs[idx] = buf
-				errs[idx] = runPlan(it.plan, inst, it.deltaStep, it.deltaLo, it.deltaHi,
-					bufferSink(inst, buf, limits, budget, &stop))
+				errs[idx] = runPlanOpts(it.plan, inst, it.deltaStep, it.deltaLo, it.deltaHi,
+					bufferSink(inst, buf, limits, budget, &stop, visTag), runOpts{negStep: -1, visTag: visTag})
 				if errs[idx] != nil {
 					stop.Store(true)
 				}
@@ -204,11 +204,19 @@ func runRoundParallel(items []workItem, inst *instance.Instance, workers int, li
 				// buffers are never deleted from today, but the
 				// position-based loop keeps tuple↔hash pairing correct
 				// even if that ever changes.)
-				if dst.AddHashed(rel.HashAt(pos), rel.TupleAt(pos)) {
+				h, t := rel.HashAt(pos), rel.TupleAt(pos)
+				if dst.AddHashed(h, t) {
 					*derived++
 					if *derived > limits.MaxFacts {
 						return fmt.Errorf("%w: more than %d derived facts", ErrNonTermination, limits.MaxFacts)
 					}
+				} else if visTag != 0 && instance.StampTag(dst.StampAt(dst.PositionHashed(h, t))) > visTag {
+					// Promotion at the merge: the shared instance holds the
+					// fact stamped by a later stratum, invisible under this
+					// stratum's view. Re-add so it is born here, exactly as
+					// the sequential derive does (see eval.derive).
+					dst.DeleteHashed(h, t)
+					dst.AddHashed(h, t)
 				}
 			}
 		}
@@ -223,8 +231,11 @@ var errRoundAborted = errors.New("eval: round aborted after a sibling work item 
 // bufferSink returns a sink that derives into a worker-private buffer.
 // Facts the shared instance already holds are dropped via a read-only
 // membership probe; the rest are deduplicated locally, so a buffer
-// never exceeds the number of genuinely new facts it contributes.
-func bufferSink(inst, buf *instance.Instance, limits Limits, budget int, stop *atomic.Bool) sinkFunc {
+// never exceeds the number of genuinely new facts it contributes. The
+// shared-instance probe is view-bounded by visTag: a fact present only
+// with a later stratum's stamp is buffered anyway, so the merge can
+// promote it into this stratum's view.
+func bufferSink(inst, buf *instance.Instance, limits Limits, budget int, stop *atomic.Bool, visTag uint64) sinkFunc {
 	added := 0
 	hb := &headScratch{}
 	return func(head ast.Pred, env *Env) error {
@@ -238,7 +249,8 @@ func bufferSink(inst, buf *instance.Instance, limits Limits, budget int, stop *a
 		// One hash serves both membership probes and the insert; the
 		// scratch tuple is copied only when the fact is genuinely new.
 		h := t.Hash()
-		if shared := inst.Relation(head.Name); shared != nil && shared.ContainsHashed(h, t) {
+		if shared := inst.Relation(head.Name); shared != nil &&
+			shared.ContainsHashedView(instance.View{MaxTag: visTag}, h, t) {
 			return nil
 		}
 		if !buf.Ensure(head.Name, len(head.Args)).AddFromScratch(h, t) {

@@ -20,14 +20,6 @@ type preparedStratum struct {
 	// checks, where the head is matched against a candidate fact before
 	// the body runs (see maintenance.rederivable).
 	rederive []*plan
-	// selfContained[i] reports that no positive body predicate of
-	// plans[i] is a head of this or any later stratum, other than the
-	// rule's own head relation. Only such rules can serve the
-	// overdeletion pruner's well-founded support check: its decreasing
-	// measure is the tuple-log position within one relation, which says
-	// nothing about cycles through a different relation that is still
-	// in flux (mutual recursion, or a forward-referenced later head).
-	selfContained []bool
 	// heads is the set of relation names defined by this stratum.
 	heads map[string]bool
 	// reads is the set of relation names occurring in positive body
@@ -125,26 +117,6 @@ func Compile(prog ast.Program) (*Prepared, error) {
 		}
 		p.strata = append(p.strata, ps)
 	}
-	// selfContained needs the heads of every stratum from the current
-	// one on, so compute it in a suffix pass once all strata are built.
-	headFrom := map[string]bool{}
-	for si := len(p.strata) - 1; si >= 0; si-- {
-		ps := &p.strata[si]
-		for name := range ps.heads {
-			headFrom[name] = true
-		}
-		for _, r := range ps.rules {
-			self := true
-			for _, l := range r.Body {
-				if pr, ok := l.Atom.(ast.Pred); ok && !l.Neg &&
-					headFrom[pr.Name] && pr.Name != r.Head.Name {
-					self = false
-					break
-				}
-			}
-			ps.selfContained = append(ps.selfContained, self)
-		}
-	}
 	return p, nil
 }
 
@@ -212,7 +184,11 @@ func (p *Prepared) Eval(edb *instance.Instance, limits Limits) (*instance.Instan
 	derived := 0
 	for si := range p.strata {
 		ps := &p.strata[si]
-		if err := runStratum(ps.plans, ps.heads, inst, limits, &derived); err != nil {
+		// visTag 0: a fresh result instance is built stratum by stratum,
+		// so the ordering the stamps encode holds by construction — and
+		// carried EDB relations may hold stamps from a previous engine's
+		// run, which a from-scratch pass must read unconditionally.
+		if err := runStratum(ps.plans, ps.heads, inst, limits, &derived, 0); err != nil {
 			return nil, fmt.Errorf("stratum %d: %w", si+1, err)
 		}
 	}

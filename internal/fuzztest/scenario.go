@@ -63,46 +63,24 @@ func (sc Scenario) History(i int) string {
 	return b.String()
 }
 
-// GenScenario draws a random scenario. The program is assembled from
-// templates chosen to cover the maintenance paths that matter:
-// recursion (the unary transitive closure, whose recursive atom is
-// served by a ground-suffix probe under deltas on the edge relation),
-// multi-way joins with exact and prefix probes, a bound-suffix join,
-// a ground-constant suffix pattern, and negation over earlier strata
-// (the overdelete/rederive path of Assert and the insertion path of
-// Retract). Rules are written without explicit strata so the parser
-// auto-stratifies; every rule is non-growing (atom variables only in
-// heads), so all fixpoints are finite.
+// GenScenario draws a random scenario. Two program families alternate:
+// auto-stratified templates covering the classic maintenance paths
+// (recursion, multi-way joins with exact/prefix/suffix probes, negation
+// over earlier strata), and explicit-strata templates covering the
+// shapes auto-stratification never produces — a head shared by two
+// strata with a positive forward reference, and mutually recursive
+// sibling relations inside one stratum (the shapes the stratum-exact
+// derivation-stamp views are accountable for). Every rule is
+// non-growing (heads only rearrange bound atom variables), so all
+// fixpoints are finite.
 func GenScenario(r *rand.Rand) Scenario {
 	atoms := []string{"a", "b", "c", "d", "e"}[:3+r.Intn(3)]
 
-	var rules []string
-	rules = append(rules,
-		"C(@x.@y) :- E1(@x.@y).",
-		"C(@x.@z) :- C(@x.@y), E1(@y.@z).")
-	copyT := r.Float64() < 0.6
-	if copyT {
-		rules = append(rules, "D($x) :- E2($x).")
-	}
-	joinT := r.Float64() < 0.6
-	if joinT {
-		rules = append(rules, "J(@x.@z) :- E1(@x.@y), E2(@y.@z).")
-	}
-	if r.Float64() < 0.6 {
-		// Bound-suffix join: under a delta on E1, E2 is probed by the
-		// ground suffix @y; under a delta on E2, E1 likewise.
-		rules = append(rules, "S(@x.@y) :- E1(@x.@y), E2(@z.@y).")
-	}
-	if r.Float64() < 0.4 {
-		// Ground-constant suffix: the base plan itself uses the suffix
-		// index (no variable need be bound first).
-		rules = append(rules, "H(@x) :- E1(@x.a).")
-	}
-	if r.Float64() < 0.5 {
-		rules = append(rules, "N($x) :- E2($x), !C($x).")
-	}
-	if copyT && joinT && r.Float64() < 0.5 {
-		rules = append(rules, "M($x) :- D($x), !J($x).")
+	var src string
+	if r.Float64() < 0.35 {
+		src = genExplicitStrata(r)
+	} else {
+		src = genAutoStratified(r)
 	}
 
 	randFact := func() Fact {
@@ -137,10 +115,76 @@ func GenScenario(r *rand.Rand) Scenario {
 	}
 
 	return Scenario{
-		Src:     strings.Join(rules, "\n") + "\n",
+		Src:     src,
 		Steps:   steps,
 		Workers: []int{1, 2, 4}[r.Intn(3)],
 	}
+}
+
+// genAutoStratified assembles a program without explicit strata (the
+// parser auto-stratifies): the unary transitive closure (whose
+// recursive atom is served by a ground-suffix probe under deltas on the
+// edge relation), multi-way joins with exact and prefix probes, a
+// bound-suffix join, a ground-constant suffix pattern, and negation
+// over earlier strata (the overdelete/rederive path of Assert and the
+// insertion path of Retract).
+func genAutoStratified(r *rand.Rand) string {
+	var rules []string
+	rules = append(rules,
+		"C(@x.@y) :- E1(@x.@y).",
+		"C(@x.@z) :- C(@x.@y), E1(@y.@z).")
+	copyT := r.Float64() < 0.6
+	if copyT {
+		rules = append(rules, "D($x) :- E2($x).")
+	}
+	joinT := r.Float64() < 0.6
+	if joinT {
+		rules = append(rules, "J(@x.@z) :- E1(@x.@y), E2(@y.@z).")
+	}
+	if r.Float64() < 0.6 {
+		// Bound-suffix join: under a delta on E1, E2 is probed by the
+		// ground suffix @y; under a delta on E2, E1 likewise.
+		rules = append(rules, "S(@x.@y) :- E1(@x.@y), E2(@z.@y).")
+	}
+	if r.Float64() < 0.4 {
+		// Ground-constant suffix: the base plan itself uses the suffix
+		// index (no variable need be bound first).
+		rules = append(rules, "H(@x) :- E1(@x.a).")
+	}
+	if r.Float64() < 0.5 {
+		rules = append(rules, "N($x) :- E2($x), !C($x).")
+	}
+	if copyT && joinT && r.Float64() < 0.5 {
+		rules = append(rules, "M($x) :- D($x), !J($x).")
+	}
+	return strings.Join(rules, "\n") + "\n"
+}
+
+// genExplicitStrata assembles a program with explicit `---` strata
+// around the shapes derivation stamps exist for. Stratum 1 defines F
+// and a pair of mutually recursive siblings RA/RB; stratum 2 reads F
+// (a positive forward reference, since stratum 3 defines F again) and
+// optionally negates RA; stratum 3 adds the second F rule and
+// optionally a join over both earlier strata. The maintained engines
+// must keep stratum 2's reads of F bounded to stratum 1's facts —
+// exactly what Prepared.Eval's stratum-ordered pass computes.
+func genExplicitStrata(r *rand.Rand) string {
+	s1 := []string{
+		"F(@x) :- E1(@x.@y).",
+		"RA(@x.@y) :- E1(@x.@y).",
+		"RB(@x.@z) :- RA(@x.@y), E2(@y.@z).",
+		"RA(@x.@z) :- RB(@x.@y), E1(@y.@z).",
+	}
+	s2 := []string{"Q(@y) :- F(@x), E2(@x.@y)."}
+	if r.Float64() < 0.5 {
+		s2 = append(s2, "G($x) :- E2($x), !RA($x).")
+	}
+	s3 := []string{"F(@x) :- E2(@y.@x)."}
+	if r.Float64() < 0.5 {
+		s3 = append(s3, "P(@x) :- Q(@x), RB(@x.@y).")
+	}
+	join := strings.Join
+	return join(s1, "\n") + "\n---\n" + join(s2, "\n") + "\n---\n" + join(s3, "\n") + "\n"
 }
 
 // Shadow is the reference copy of the EDB, maintained by replaying the

@@ -222,6 +222,79 @@ func TestCodecAgnosticToSharing(t *testing.T) {
 	}
 }
 
+// TestStampsSurviveEpochSharing pins that derivation stamps are part
+// of the chunked tuple log's epoch contract: sealed chunks shared
+// across the write barrier carry their stamps by pointer, the copied
+// tail keeps them, Compact rewrites positions without touching a
+// surviving tuple's stamp, Clone deep-copies them, and the
+// instance-level birth counter continues across barrier clones.
+func TestStampsSurviveEpochSharing(t *testing.T) {
+	i := New()
+	st := &Stamper{}
+	i.SetStamper(st)
+	n := chunkSize + chunkSize/2
+	want := map[string]uint64{}
+	for k := 0; k < n; k++ {
+		st.SetTag(uint64(k % 3))
+		tu := tup(value.PathOf("t" + fmt.Sprint(k)))
+		i.Add("R", tu)
+		r := i.Relation("R")
+		s := r.StampAt(r.Size() - 1)
+		if StampTag(s) != uint64(k%3) || StampBirth(s) != uint64(k+1) {
+			t.Fatalf("append %d: stamp tag=%d birth=%d, want tag=%d birth=%d",
+				k, StampTag(s), StampBirth(s), k%3, k+1)
+		}
+		want[tu.Key()] = s
+	}
+	check := func(label string, r *Relation, want map[string]uint64) {
+		t.Helper()
+		live := 0
+		for pos := 0; pos < r.Size(); pos++ {
+			if !r.Live(pos) {
+				continue
+			}
+			live++
+			k := r.TupleAt(pos).Key()
+			if got := r.StampAt(pos); got != want[k] {
+				t.Fatalf("%s: stamp of %s = %#x, want %#x", label, r.TupleAt(pos), got, want[k])
+			}
+		}
+		if live != len(want) {
+			t.Fatalf("%s: %d live tuples, want %d", label, live, len(want))
+		}
+	}
+
+	snap := i.Snapshot()
+	st.SetTag(0)
+	extra := tup(value.PathOf("extra"))
+	i.Add("R", extra) // write barrier: sealed chunks shared, tail copied
+	last := i.Relation("R")
+	if s := last.StampAt(last.Size() - 1); StampBirth(s) != uint64(n+1) {
+		t.Fatalf("birth counter did not continue across the barrier: birth %d, want %d",
+			StampBirth(s), n+1)
+	}
+	check("frozen snapshot", snap.Relation("R"), want)
+
+	wantW := map[string]uint64{}
+	for k, v := range want {
+		wantW[k] = v
+	}
+	wantW[extra.Key()] = MakeStamp(uint64(n+1), 0)
+	// Tombstone a scattering of tuples, then Compact: every surviving
+	// tuple keeps its stamp at its new position, and the frozen epoch
+	// still sees the original assignment untouched.
+	for k := 0; k < n; k += 7 {
+		tu := tup(value.PathOf("t" + fmt.Sprint(k)))
+		i.Delete("R", tu)
+		delete(wantW, tu.Key())
+	}
+	check("writer before compact", i.Relation("R"), wantW)
+	i.Relation("R").Compact()
+	check("writer after compact", i.Relation("R"), wantW)
+	check("deep clone", i.Relation("R").Clone(), wantW)
+	check("frozen snapshot after compact", snap.Relation("R"), want)
+}
+
 // TestEpochHammer drives concurrent snapshot readers — membership,
 // exact-index, and prefix probes, all of which lazily absorb under the
 // watermark protocol — against a writer cycling assert/retract/Compact

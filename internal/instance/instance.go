@@ -83,12 +83,87 @@ const (
 )
 
 // chunk is one block of the append-only tuple log: up to chunkSize
-// tuples plus their precomputed structural hashes. The slices grow
-// together (len(hashes) == len(tuples)), so small relations pay for
-// the tuples they hold, not for a full block.
+// tuples plus their precomputed structural hashes and derivation
+// stamps. The slices grow together (len(hashes) == len(stamps) ==
+// len(tuples)), so small relations pay for the tuples they hold, not
+// for a full block.
 type chunk struct {
 	tuples []Tuple
 	hashes []uint64
+	stamps []uint64
+}
+
+// Derivation stamps. Every tuple-log position carries a stamp packed
+// as birth<<StampTagBits | tag: a monotone per-Stamper birth counter
+// and a small visibility tag (the evaluator uses 0 for base/EDB facts
+// and si+1 for facts produced by stratum si). Stamps are assigned at
+// append time by the relation's Stamper and live beside the cached
+// hashes, so they survive the copy-on-write barrier, Compact and
+// Clone exactly like the hashes do. They are never serialized: a
+// relation rebuilt by replay re-earns its stamps from the same
+// deterministic append order.
+const StampTagBits = 16
+
+// MakeStamp packs a (birth, tag) pair into one stamp.
+func MakeStamp(birth, tag uint64) uint64 { return birth<<StampTagBits | tag }
+
+// StampTag extracts the visibility tag of a stamp.
+func StampTag(s uint64) uint64 { return s & (1<<StampTagBits - 1) }
+
+// StampBirth extracts the monotone birth counter of a stamp.
+func StampBirth(s uint64) uint64 { return s >> StampTagBits }
+
+// Stamper issues derivation stamps: a monotone birth counter shared by
+// every relation it is attached to, combined with a caller-set tag.
+// The evaluation engine attaches one Stamper to its whole instance and
+// retags it as it moves through the strata, so stamps totally order
+// all appends of one engine and record which stratum produced each.
+// A Stamper is not synchronized; stamped appends are single-threaded
+// by the relation write contract.
+type Stamper struct {
+	birth uint64
+	tag   uint64
+}
+
+// SetTag sets the visibility tag stamped onto subsequent appends.
+func (s *Stamper) SetTag(tag uint64) { s.tag = tag }
+
+// next issues the stamp for one append.
+func (s *Stamper) next() uint64 {
+	s.birth++
+	return MakeStamp(s.birth, s.tag)
+}
+
+// View selects which tuple-log positions a probe may see. The zero
+// View is the plain live view. Dead additionally admits tombstoned
+// positions (the DRed pre-deletion state). MaxTag, when nonzero,
+// restricts to positions whose stamp tag is at most MaxTag — the
+// stratum-exact view: a reader at stratum si (MaxTag si+1) never sees
+// facts produced by a later stratum. MaxBirth, when nonzero, further
+// requires positions stamped exactly MaxTag to have birth strictly
+// below MaxBirth — the well-founded overdeletion pruner's whole-
+// stratum support ordering (earlier-tag positions are settled and pass
+// regardless of birth).
+type View struct {
+	Dead     bool
+	MaxTag   uint64
+	MaxBirth uint64
+}
+
+// Admits reports whether the view admits a position with this stamp.
+// Tombstone visibility is checked separately by the probe.
+func (v View) Admits(stamp uint64) bool {
+	if v.MaxTag == 0 {
+		return true
+	}
+	tag := StampTag(stamp)
+	if tag > v.MaxTag {
+		return false
+	}
+	if tag == v.MaxTag && v.MaxBirth != 0 && StampBirth(stamp) >= v.MaxBirth {
+		return false
+	}
+	return true
 }
 
 // deadPage is the tombstone bitmap for one chunk: bit off marks
@@ -254,6 +329,13 @@ type Relation struct {
 	// proceed concurrently.
 	frozen atomic.Bool
 
+	// stamper, when set, issues the derivation stamp of every appended
+	// tuple; without one, appends are stamped 0 (base facts, visible to
+	// every view). Instance.Ensure attaches its instance's stamper to
+	// the relations it hands out, and epoch clones inherit it, so all
+	// writes of one engine draw from one monotone birth counter.
+	stamper *Stamper
+
 	// mu guards creation of secondary indexes (the maps below), the
 	// build step that absorbs pending tuples into one (membership
 	// included), and the barrier's read of their base/overlay state;
@@ -279,13 +361,36 @@ func (r *Relation) Freeze() { r.frozen.Store(true) }
 // Frozen reports whether the relation has been frozen.
 func (r *Relation) Frozen() bool { return r.frozen.Load() }
 
-// tupleAt and hashAt read the tuple log by position.
-func (r *Relation) tupleAt(pos int) Tuple { return r.chunks[pos>>chunkShift].tuples[pos&chunkMask] }
-func (r *Relation) hashAt(pos int) uint64 { return r.chunks[pos>>chunkShift].hashes[pos&chunkMask] }
+// tupleAt, hashAt and stampAt read the tuple log by position.
+func (r *Relation) tupleAt(pos int) Tuple  { return r.chunks[pos>>chunkShift].tuples[pos&chunkMask] }
+func (r *Relation) hashAt(pos int) uint64  { return r.chunks[pos>>chunkShift].hashes[pos&chunkMask] }
+func (r *Relation) stampAt(pos int) uint64 { return r.chunks[pos>>chunkShift].stamps[pos&chunkMask] }
 
-// appendTuple appends to the tail chunk, sealing it and opening a
-// fresh one at the chunkSize boundary. Caller is the exclusive writer.
+// SetStamper attaches a stamper to the relation: every later append is
+// stamped from it. Attaching is a write-path operation (the engine
+// attaches stampers to relations it exclusively owns, and Ensure
+// re-attaches at the write barrier).
+func (r *Relation) SetStamper(s *Stamper) { r.stamper = s }
+
+// StampAt returns the derivation stamp of the tuple at position pos
+// (0 for tuples appended without a stamper: base facts).
+func (r *Relation) StampAt(pos int) uint64 { return r.stampAt(pos) }
+
+// appendTuple appends to the tail chunk with a freshly issued stamp;
+// see appendStamped.
 func (r *Relation) appendTuple(h uint64, t Tuple) {
+	st := uint64(0)
+	if r.stamper != nil {
+		st = r.stamper.next()
+	}
+	r.appendStamped(h, t, st)
+}
+
+// appendStamped appends to the tail chunk, sealing it and opening a
+// fresh one at the chunkSize boundary. Caller is the exclusive writer.
+// Compact and Clone use it directly to carry a tuple's existing stamp
+// through the renumbering instead of issuing a fresh one.
+func (r *Relation) appendStamped(h uint64, t Tuple, stamp uint64) {
 	ci := r.size >> chunkShift
 	if ci == len(r.chunks) {
 		// The tail's slices grow by appending: the maintenance paths
@@ -297,6 +402,7 @@ func (r *Relation) appendTuple(h uint64, t Tuple) {
 	c := r.chunks[ci]
 	c.tuples = append(c.tuples, t)
 	c.hashes = append(c.hashes, h)
+	c.stamps = append(c.stamps, stamp)
 	r.size++
 }
 
@@ -482,7 +588,7 @@ func (r *Relation) Compact() {
 		}
 		c := old[pos>>chunkShift]
 		h := c.hashes[pos&chunkMask]
-		r.appendTuple(h, c.tuples[pos&chunkMask])
+		r.appendStamped(h, c.tuples[pos&chunkMask], c.stamps[pos&chunkMask])
 		m[h] = append(m[h], r.size-1)
 	}
 	r.dead, r.deadOwned, r.tombs = nil, nil, 0
@@ -515,6 +621,16 @@ func (r *Relation) ContainsHashed(h uint64, t Tuple) bool {
 // window.
 func (r *Relation) PositionHashed(h uint64, t Tuple) int {
 	return r.lookupHashed(h, t)
+}
+
+// ContainsHashedView reports membership restricted to the given view:
+// the tuple counts as present only when its live position carries a
+// stamp the view admits. The evaluator's negation probes use it so a
+// fact produced by a later stratum reads as absent from an earlier
+// stratum's view. v.Dead is ignored — membership is about live facts.
+func (r *Relation) ContainsHashedView(v View, h uint64, t Tuple) bool {
+	pos := r.lookupHashed(h, t)
+	return pos >= 0 && v.Admits(r.stampAt(pos))
 }
 
 // HashAt returns the precomputed hash of the tuple at insertion
@@ -606,11 +722,11 @@ func (r *Relation) Sorted() []Tuple {
 
 // Clone returns an independent, compacted copy of the relation:
 // tombstoned positions are dropped and live tuples renumbered densely.
-// The precomputed tuple hashes are reused and the membership index is
-// rebuilt as an immutable base (cheap to share at the next write
-// barrier); secondary indexes rebuild lazily on the copy when first
-// used. Nothing is shared with the original except the tuples
-// themselves, which are immutable.
+// The precomputed tuple hashes and derivation stamps are reused and
+// the membership index is rebuilt as an immutable base (cheap to share
+// at the next write barrier); secondary indexes rebuild lazily on the
+// copy when first used. Nothing is shared with the original except the
+// tuples themselves, which are immutable.
 func (r *Relation) Clone() *Relation {
 	out := NewRelation(r.Arity)
 	m := make(map[uint64][]int, r.Len())
@@ -619,7 +735,7 @@ func (r *Relation) Clone() *Relation {
 			continue
 		}
 		h := r.hashAt(pos)
-		out.appendTuple(h, r.tupleAt(pos))
+		out.appendStamped(h, r.tupleAt(pos), r.stampAt(pos))
 		m[h] = append(m[h], out.size-1)
 	}
 	out.member.base = &postings{m: m, n: out.size, upto: out.size}
@@ -647,7 +763,7 @@ type cloneCost struct {
 // its mutex, which cloneShared holds while reading index state).
 func (r *Relation) cloneShared() (*Relation, cloneCost) {
 	var cost cloneCost
-	out := &Relation{Arity: r.Arity, size: r.size, tombs: r.tombs}
+	out := &Relation{Arity: r.Arity, size: r.size, tombs: r.tombs, stamper: r.stamper}
 	out.chunks = append([]*chunk(nil), r.chunks...)
 	cost.sharedChunks = int64(len(r.chunks))
 	cost.copiedBytes = int64(len(r.chunks)) * 8
@@ -657,9 +773,10 @@ func (r *Relation) cloneShared() (*Relation, cloneCost) {
 		out.chunks[ci] = &chunk{
 			tuples: append(make([]Tuple, 0, chunkSize), old.tuples...),
 			hashes: append(make([]uint64, 0, chunkSize), old.hashes...),
+			stamps: append(make([]uint64, 0, chunkSize), old.stamps...),
 		}
 		cost.sharedChunks--
-		cost.copiedBytes += int64(tail) * 32
+		cost.copiedBytes += int64(tail) * 40
 	}
 	if len(r.dead) > 0 {
 		out.dead = append([]*deadPage(nil), r.dead...)
@@ -898,7 +1015,7 @@ func (ix *Index) CatchUp() {
 // is a true, live match. The returned slice may be shared with the
 // index; callers must not mutate it.
 func (ix *Index) Lookup(vals ...value.Path) []int {
-	return ix.lookup(vals, false)
+	return ix.lookup(vals, View{})
 }
 
 // LookupAll is Lookup including tombstoned positions. The DRed
@@ -906,17 +1023,28 @@ func (ix *Index) Lookup(vals ...value.Path) []int {
 // a relation (live tuples plus everything deleted during the current
 // maintenance run, which is exactly the set still occupying positions).
 func (ix *Index) LookupAll(vals ...value.Path) []int {
-	return ix.lookup(vals, true)
+	return ix.lookup(vals, View{Dead: true})
 }
 
-func (ix *Index) lookup(vals []value.Path, includeDead bool) []int {
+// LookupView is Lookup restricted to the given view: tombstone
+// visibility per v.Dead, and only positions whose derivation stamp the
+// view admits (the evaluator's stratum-exact and pruner-bounded
+// probes). LookupView with the zero View is Lookup.
+func (ix *Index) LookupView(v View, vals ...value.Path) []int {
+	return ix.lookup(vals, v)
+}
+
+func (ix *Index) lookup(vals []value.Path, v View) []int {
 	if len(vals) != len(ix.cols) {
 		panic(fmt.Sprintf("instance: index over %d columns probed with %d values", len(ix.cols), len(vals)))
 	}
 	ix.CatchUp()
 	h := hashPaths(vals)
 	match := func(pos int) bool {
-		if !includeDead && !ix.r.Live(pos) {
+		if !v.Dead && !ix.r.Live(pos) {
+			return false
+		}
+		if !v.Admits(ix.r.stampAt(pos)) {
 			return false
 		}
 		t := ix.r.tupleAt(pos)
@@ -979,16 +1107,22 @@ func (r *Relation) catchUpPrefix(ix *prefixIndex, key prefixKey) {
 // @y.$rest has a ground prefix under the current valuation: any
 // matching tuple's column must begin with exactly that prefix.
 func (r *Relation) PrefixLookup(col int, prefix value.Path) []int {
-	return r.prefixLookup(col, prefix, false)
+	return r.prefixLookup(col, prefix, View{})
 }
 
 // PrefixLookupAll is PrefixLookup including tombstoned positions; see
 // Index.LookupAll for when the DRed maintainer needs that.
 func (r *Relation) PrefixLookupAll(col int, prefix value.Path) []int {
-	return r.prefixLookup(col, prefix, true)
+	return r.prefixLookup(col, prefix, View{Dead: true})
 }
 
-func (r *Relation) prefixLookup(col int, prefix value.Path, includeDead bool) []int {
+// PrefixLookupView is PrefixLookup restricted to the given view; see
+// Index.LookupView.
+func (r *Relation) PrefixLookupView(v View, col int, prefix value.Path) []int {
+	return r.prefixLookup(col, prefix, v)
+}
+
+func (r *Relation) prefixLookup(col int, prefix value.Path, v View) []int {
 	if col < 0 || col >= r.Arity {
 		panic(fmt.Sprintf("instance: prefix column %d out of range for arity-%d relation", col, r.Arity))
 	}
@@ -1013,7 +1147,10 @@ func (r *Relation) prefixLookup(col int, prefix value.Path, includeDead bool) []
 	}
 	r.catchUpPrefix(ix, key)
 	match := func(pos int) bool {
-		if !includeDead && !r.Live(pos) {
+		if !v.Dead && !r.Live(pos) {
+			return false
+		}
+		if !v.Admits(r.stampAt(pos)) {
 			return false
 		}
 		p := r.tupleAt(pos)[col]
@@ -1060,16 +1197,22 @@ func (r *Relation) catchUpSuffix(ix *prefixIndex, key prefixKey) {
 // (the paper's bound-suffix patterns, §2.2): any matching tuple's
 // column must end with exactly that suffix.
 func (r *Relation) SuffixLookup(col int, suffix value.Path) []int {
-	return r.suffixLookup(col, suffix, false)
+	return r.suffixLookup(col, suffix, View{})
 }
 
 // SuffixLookupAll is SuffixLookup including tombstoned positions; see
 // Index.LookupAll for when the DRed maintainer needs that.
 func (r *Relation) SuffixLookupAll(col int, suffix value.Path) []int {
-	return r.suffixLookup(col, suffix, true)
+	return r.suffixLookup(col, suffix, View{Dead: true})
 }
 
-func (r *Relation) suffixLookup(col int, suffix value.Path, includeDead bool) []int {
+// SuffixLookupView is SuffixLookup restricted to the given view; see
+// Index.LookupView.
+func (r *Relation) SuffixLookupView(v View, col int, suffix value.Path) []int {
+	return r.suffixLookup(col, suffix, v)
+}
+
+func (r *Relation) suffixLookup(col int, suffix value.Path, v View) []int {
 	if col < 0 || col >= r.Arity {
 		panic(fmt.Sprintf("instance: suffix column %d out of range for arity-%d relation", col, r.Arity))
 	}
@@ -1094,7 +1237,10 @@ func (r *Relation) suffixLookup(col int, suffix value.Path, includeDead bool) []
 	}
 	r.catchUpSuffix(ix, key)
 	match := func(pos int) bool {
-		if !includeDead && !r.Live(pos) {
+		if !v.Dead && !r.Live(pos) {
+			return false
+		}
+		if !v.Admits(r.stampAt(pos)) {
 			return false
 		}
 		p := r.tupleAt(pos)[col]
@@ -1176,8 +1322,9 @@ func (s *CloneStats) Add(o CloneStats) {
 
 // Instance assigns finite relations to relation names (paper §2.1).
 type Instance struct {
-	rels   map[string]*Relation
-	clones CloneStats
+	rels    map[string]*Relation
+	clones  CloneStats
+	stamper *Stamper
 }
 
 // New creates an empty instance.
@@ -1185,6 +1332,16 @@ func New() *Instance { return &Instance{rels: map[string]*Relation{}} }
 
 // Relation returns the named relation or nil.
 func (i *Instance) Relation(name string) *Relation { return i.rels[name] }
+
+// SetStamper attaches a stamper to the instance: Ensure hands it to
+// every relation it returns (created, cloned at the write barrier, or
+// already writable), so all writes draw stamps from one monotone birth
+// counter. The engine attaches one stamper per materialization and
+// retags it as maintenance moves through the strata.
+func (i *Instance) SetStamper(s *Stamper) { i.stamper = s }
+
+// Stamper returns the instance's attached stamper, or nil.
+func (i *Instance) Stamper() *Stamper { return i.stamper }
 
 // CloneStats reports the accumulated write-barrier work of this
 // instance; see CloneStats.
@@ -1215,9 +1372,16 @@ func (i *Instance) Ensure(name string, arity int) *Relation {
 			i.rels[name] = clone
 			r = clone
 		}
+		// Unconditional, including nil: a writer only ever draws stamps
+		// from ITS instance's stamper. A clone inherits the relation-level
+		// pointer from its parent epoch, and without this reattach an
+		// unrelated instance (a user writing over an engine snapshot)
+		// would keep issuing births from the engine's live counter.
+		r.stamper = i.stamper
 		return r
 	}
 	r := NewRelation(arity)
+	r.stamper = i.stamper
 	i.rels[name] = r
 	return r
 }

@@ -298,6 +298,80 @@ func TestCrashRecoveryCheckpointed(t *testing.T) {
 	}
 }
 
+// TestReplayReassignsStampsIdentically: derivation stamps are never
+// serialized — recovery re-derives them by replaying the logged
+// operations through the same engine paths (see docs/durability.md).
+// A full-log replay must land on exactly the live engine's stamp
+// assignment, fact for fact. A checkpointed recovery restores from an
+// EDB snapshot (a fresh initial fixpoint, so absolute births
+// legitimately differ from the live engine's accumulated history) but
+// must itself be deterministic: two recoveries from the same log agree
+// stamp for stamp.
+func TestReplayReassignsStampsIdentically(t *testing.T) {
+	stampsOf := func(h *replayHandler) map[string]uint64 {
+		snap := h.snapshot(t)
+		out := map[string]uint64{}
+		for _, name := range snap.Names() {
+			r := snap.Relation(name)
+			for pos := 0; pos < r.Size(); pos++ {
+				if r.Live(pos) {
+					out[name+" "+r.TupleAt(pos).String()] = r.StampAt(pos)
+				}
+			}
+		}
+		return out
+	}
+	diff := func(a, b map[string]uint64) string {
+		for k, v := range a {
+			if b[k] != v {
+				return fmt.Sprintf("%s: stamp %#x vs %#x", k, v, b[k])
+			}
+		}
+		if len(a) != len(b) {
+			return fmt.Sprintf("fact counts differ: %d vs %d", len(a), len(b))
+		}
+		return ""
+	}
+	noCkpt := wal.Options{Sync: wal.SyncAlways, CheckpointRecords: -1, CheckpointBytes: -1}
+	for seed := int64(0); seed < 8; seed++ {
+		sc := fuzztest.GenScenario(rand.New(rand.NewSource(seed)))
+
+		dir := t.TempDir()
+		l, h := mustOpen(t, dir, noCkpt)
+		recs := []wal.Record{{Op: wal.OpLoad, Program: sc.Src}}
+		for _, st := range sc.Steps {
+			recs = append(recs, stepRecord(st))
+		}
+		for _, rec := range recs {
+			if err := l.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Replay(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		live := stampsOf(h)
+		l.Close()
+
+		l2, h2 := mustOpen(t, dir, noCkpt)
+		if d := diff(live, stampsOf(h2)); d != "" {
+			t.Fatalf("seed %d: full-log replay reassigned different stamps: %s\n%s", seed, d, sc.Src)
+		}
+		l2.Close()
+
+		dir2 := t.TempDir()
+		runScenario(t, dir2, sc, 3)
+		l3, h3 := mustOpen(t, dir2, noCkpt)
+		first := stampsOf(h3)
+		l3.Close()
+		l4, h4 := mustOpen(t, dir2, noCkpt)
+		if d := diff(first, stampsOf(h4)); d != "" {
+			t.Fatalf("seed %d: checkpointed recovery not stamp-deterministic: %s\n%s", seed, d, sc.Src)
+		}
+		l4.Close()
+	}
+}
+
 // TestCheckpointFallbackRecovery: a corrupted newest checkpoint is
 // skipped and recovery falls back to the previous generation, replaying
 // both WAL files it subsumes.

@@ -54,6 +54,8 @@ BenchmarkIncrementalAssert/incremental-novariants/k=1
 BenchmarkIncrementalAssert/fromscratch/k=1
 BenchmarkIncrementalRetract/retract/k=1
 BenchmarkIncrementalRetract/retract-novariants/k=1
+BenchmarkIncrementalRetractMutual/retract-mutual/k=1
+BenchmarkIncrementalRetractMutual/retract-mutual-noprune/k=1
 BenchmarkRecovery/replay/n=512
 BenchmarkRecovery/checkpoint-tail/n=512'
 prev=""
